@@ -1,0 +1,284 @@
+package unet_test
+
+// One benchmark per paper table and figure, plus ablations for the design
+// choices DESIGN.md calls out. Each benchmark regenerates the experiment's
+// key data point(s) per iteration and reports the paper-relevant metric
+// via b.ReportMetric, so `go test -bench=. -benchmem` reproduces the
+// evaluation end to end. Wall time per iteration is simulation time, not
+// network time — the virtual clock makes the runs deterministic.
+
+import (
+	"testing"
+	"time"
+
+	"unet/internal/experiments"
+	"unet/internal/nic"
+	"unet/internal/sim"
+	"unet/internal/stats"
+	"unet/internal/testbed"
+	"unet/internal/uam"
+	"unet/internal/unet"
+)
+
+const benchRounds = 30
+
+func us(d time.Duration) float64 { return stats.US(d) }
+
+// --- Tables ---
+
+// BenchmarkTable1_SBA100 regenerates the SBA-100 cost breakup: 66 µs
+// single-cell round trip and 6.8 MB/s at 1 KB (paper Table 1).
+func BenchmarkTable1_SBA100(b *testing.B) {
+	var rtt, bw float64
+	for i := 0; i < b.N; i++ {
+		rtt = us(experiments.RawRTT(nic.SBA100Params(), 32, benchRounds))
+		bw = experiments.RawBandwidth(nic.SBA100Params(), 1024, 150).MBps()
+	}
+	b.ReportMetric(rtt, "µs/rtt")
+	b.ReportMetric(bw, "MB/s@1KB")
+}
+
+// BenchmarkTable2_Machines measures the three machines' small-message
+// round trips (paper Table 2: 12 / 25 / 71 µs).
+func BenchmarkTable2_Machines(b *testing.B) {
+	var cm5, meiko, atm float64
+	for i := 0; i < b.N; i++ {
+		cm5 = us(experiments.SplitCRPCRTT(experiments.MachineCM5, benchRounds))
+		meiko = us(experiments.SplitCRPCRTT(experiments.MachineMeiko, benchRounds))
+		atm = us(experiments.SplitCRPCRTT(experiments.MachineUNetATM, benchRounds))
+	}
+	b.ReportMetric(cm5, "µs/cm5")
+	b.ReportMetric(meiko, "µs/meiko")
+	b.ReportMetric(atm, "µs/atm")
+}
+
+// BenchmarkTable3_Summary regenerates the protocol summary (paper Table 3:
+// Raw 65 µs, UAM 71, UDP 138, TCP 157 with ~115-120 Mbit/s at 4 KB).
+func BenchmarkTable3_Summary(b *testing.B) {
+	var raw, am, udpRTT, tcpRTT float64
+	for i := 0; i < b.N; i++ {
+		raw = us(experiments.RawRTT(nic.SBA200Params(), 32, benchRounds))
+		am = us(experiments.UAMPingPong(uam.Config{}, 16, benchRounds))
+		udpRTT = us(experiments.UDPRTT(experiments.PathUNet, 4, benchRounds))
+		tcpRTT = us(experiments.TCPRTT(experiments.PathUNet, 4, benchRounds))
+	}
+	b.ReportMetric(raw, "µs/raw")
+	b.ReportMetric(am, "µs/uam")
+	b.ReportMetric(udpRTT, "µs/udp")
+	b.ReportMetric(tcpRTT, "µs/tcp")
+}
+
+// --- Figures ---
+
+// BenchmarkFig3_RTT sweeps the round-trip latency curve (paper Figure 3).
+func BenchmarkFig3_RTT(b *testing.B) {
+	var single, multi float64
+	for i := 0; i < b.N; i++ {
+		single = us(experiments.RawRTT(nic.SBA200Params(), 40, benchRounds))
+		multi = us(experiments.RawRTT(nic.SBA200Params(), 48, benchRounds))
+	}
+	b.ReportMetric(single, "µs/40B")
+	b.ReportMetric(multi, "µs/48B")
+}
+
+// BenchmarkFig4_Bandwidth sweeps the bandwidth curve (paper Figure 4:
+// saturation from ~800 B, UAM 14.8 MB/s at 4 KB with the 4164-byte dip).
+func BenchmarkFig4_Bandwidth(b *testing.B) {
+	var raw800, store4k, store4164 float64
+	for i := 0; i < b.N; i++ {
+		raw800 = experiments.RawBandwidth(nic.SBA200Params(), 800, 200).MBps()
+		store4k = experiments.UAMStoreBandwidth(uam.Config{}, 4096, 120)
+		store4164 = experiments.UAMStoreBandwidth(uam.Config{}, 4164, 120)
+	}
+	b.ReportMetric(raw800, "MB/s@800B")
+	b.ReportMetric(store4k, "MB/s@4K")
+	b.ReportMetric(store4164, "MB/s@4164B")
+}
+
+// BenchmarkFig5_SplitC runs the seven Split-C benchmarks on the three
+// machines (paper Figure 5). Quick problem sizes; use cmd/unetbench
+// -paper for the full 4M-key runs.
+func BenchmarkFig5_SplitC(b *testing.B) {
+	sc := experiments.QuickScale()
+	sc.Procs = 4
+	var atmNorm float64
+	for i := 0; i < b.N; i++ {
+		cm5 := experiments.RunSplitCBench(experiments.MachineCM5, "sample sort (bulk)", sc)
+		atm := experiments.RunSplitCBench(experiments.MachineUNetATM, "sample sort (bulk)", sc)
+		atmNorm = float64(atm.Time) / float64(cm5.Time)
+	}
+	b.ReportMetric(atmNorm, "atm/cm5")
+}
+
+// BenchmarkFig6_KernelLatency measures the kernel ATM-vs-Ethernet
+// round-trip comparison (paper Figure 6).
+func BenchmarkFig6_KernelLatency(b *testing.B) {
+	var atm, eth float64
+	for i := 0; i < b.N; i++ {
+		atm = us(experiments.UDPRTT(experiments.PathKernelATM, 8, 10))
+		eth = us(experiments.UDPRTT(experiments.PathKernelEth, 8, 10))
+	}
+	b.ReportMetric(atm, "µs/atm")
+	b.ReportMetric(eth, "µs/eth")
+}
+
+// BenchmarkFig7_UDPBandwidth measures U-Net vs kernel UDP streaming
+// (paper Figure 7).
+func BenchmarkFig7_UDPBandwidth(b *testing.B) {
+	var un, kSent, kRecv float64
+	for i := 0; i < b.N; i++ {
+		_, un = experiments.UDPBandwidth(experiments.PathUNet, 4096, 150)
+		kSent, kRecv = experiments.UDPBandwidth(experiments.PathKernelATM, 4096, 150)
+	}
+	b.ReportMetric(un, "MB/s-unet")
+	b.ReportMetric(kSent, "MB/s-ksend")
+	b.ReportMetric(kRecv, "MB/s-krecv")
+}
+
+// BenchmarkFig8_TCPBandwidth measures TCP bandwidth vs window (paper
+// Figure 8: U-Net 14-15 MB/s with 8 KB; kernel ≤ 9-10 with 64 KB).
+func BenchmarkFig8_TCPBandwidth(b *testing.B) {
+	var un, kern float64
+	for i := 0; i < b.N; i++ {
+		un = experiments.TCPBandwidth(experiments.PathUNet, 8<<10, 8192, 1<<20)
+		kern = experiments.TCPBandwidth(experiments.PathKernelATM, 64<<10, 8192, 8<<20)
+	}
+	b.ReportMetric(un, "MB/s-unet8K")
+	b.ReportMetric(kern, "MB/s-kern64K")
+}
+
+// BenchmarkFig9_IPLatency measures U-Net vs kernel UDP/TCP round trips
+// (paper Figure 9).
+func BenchmarkFig9_IPLatency(b *testing.B) {
+	var uu, ut, ku, kt float64
+	for i := 0; i < b.N; i++ {
+		uu = us(experiments.UDPRTT(experiments.PathUNet, 4, benchRounds))
+		ut = us(experiments.TCPRTT(experiments.PathUNet, 4, benchRounds))
+		ku = us(experiments.UDPRTT(experiments.PathKernelATM, 4, 10))
+		kt = us(experiments.TCPRTT(experiments.PathKernelATM, 4, 10))
+	}
+	b.ReportMetric(uu, "µs/unet-udp")
+	b.ReportMetric(ut, "µs/unet-tcp")
+	b.ReportMetric(ku, "µs/kern-udp")
+	b.ReportMetric(kt, "µs/kern-tcp")
+}
+
+// --- Ablations (design choices from DESIGN.md §5) ---
+
+// BenchmarkAblation_SingleCellFastPath disables the inline-descriptor
+// optimization (§4.2.2) and shows small-message RTT degrade to the
+// multi-cell path.
+func BenchmarkAblation_SingleCellFastPath(b *testing.B) {
+	var with, without float64
+	off := nic.SBA200Params()
+	off.SingleCellMax = 0
+	for i := 0; i < b.N; i++ {
+		with = us(experiments.RawRTT(nic.SBA200Params(), 32, benchRounds))
+		without = us(experiments.RawRTT(off, 32, benchRounds))
+	}
+	b.ReportMetric(with, "µs/fastpath")
+	b.ReportMetric(without, "µs/no-fastpath")
+}
+
+// BenchmarkAblation_UpcallVsPolling compares polling pickup against
+// UNIX-signal upcalls (§4.2.3: +30 µs per end).
+func BenchmarkAblation_UpcallVsPolling(b *testing.B) {
+	var poll, signal float64
+	for i := 0; i < b.N; i++ {
+		poll, signal = measureUpcallDelta()
+	}
+	b.ReportMetric(poll, "µs/poll-delivery")
+	b.ReportMetric(signal, "µs/signal-delivery")
+}
+
+// measureUpcallDelta delivers one message under each reception mode and
+// returns the two one-way delivery times in µs.
+func measureUpcallDelta() (pollUS, signalUS float64) {
+	measure := func(signal bool) float64 {
+		tb := testbed.New(testbed.Config{Hosts: 2})
+		defer tb.Close()
+		pr, err := tb.NewPair(0, 1, unet.EndpointConfig{}, 4)
+		if err != nil {
+			panic(err)
+		}
+		var at time.Duration
+		pr.EpB.SetUpcall(unet.UpcallNonEmpty, signal, func() { at = tb.Eng.Now() })
+		tb.Hosts[0].Spawn("tx", func(p *sim.Proc) {
+			pr.EpA.Send(p, unet.SendDesc{Channel: pr.ChA, Inline: []byte{1}})
+		})
+		tb.Eng.Run()
+		return us(at)
+	}
+	return measure(false), measure(true)
+}
+
+// BenchmarkAblation_UDPChecksum measures the §7.6 checksum elision.
+func BenchmarkAblation_UDPChecksum(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = us(experiments.UDPRTT(experiments.PathUNet, 1024, benchRounds))
+		without = us(experiments.UNetUDPNoChecksumRTT(1024, benchRounds))
+	}
+	b.ReportMetric(with, "µs/checksum")
+	b.ReportMetric(without, "µs/no-checksum")
+}
+
+// BenchmarkAblation_UAMWindow sweeps the UAM flow-control window (§5.1.1).
+func BenchmarkAblation_UAMWindow(b *testing.B) {
+	var w1, w8 float64
+	for i := 0; i < b.N; i++ {
+		w1 = experiments.UAMStoreBandwidth(uam.Config{Window: 1}, 4096, 100)
+		w8 = experiments.UAMStoreBandwidth(uam.Config{Window: 8}, 4096, 100)
+	}
+	b.ReportMetric(w1, "MB/s-w1")
+	b.ReportMetric(w8, "MB/s-w8")
+}
+
+// BenchmarkAblation_TCPSegment compares the standard 2048-byte segments
+// (§7.8) against small 512-byte segments over U-Net.
+func BenchmarkAblation_TCPSegment(b *testing.B) {
+	var mss2048, mss512 float64
+	for i := 0; i < b.N; i++ {
+		mss2048 = experiments.TCPBandwidth(experiments.PathUNet, 8<<10, 8192, 1<<20)
+		mss512 = experiments.TCPBandwidthMSS(experiments.PathUNet, 8<<10, 512, 8192, 1<<20)
+	}
+	b.ReportMetric(mss2048, "MB/s-mss2048")
+	b.ReportMetric(mss512, "MB/s-mss512")
+}
+
+// BenchmarkAblation_TCPDelayedAck compares a short one-way U-Net TCP
+// transfer with delayed acks disabled (the paper's choice, §7.8) and
+// enabled: the delayed variant stalls on the 200 ms ack timer during slow
+// start.
+func BenchmarkAblation_TCPDelayedAck(b *testing.B) {
+	var eager, delayed float64
+	for i := 0; i < b.N; i++ {
+		eager = us(experiments.TCPShortTransferTime(false))
+		delayed = us(experiments.TCPShortTransferTime(true))
+	}
+	b.ReportMetric(eager, "µs/64K-eager")
+	b.ReportMetric(delayed, "µs/64K-delayed")
+}
+
+// BenchmarkAblation_EmulatedEndpoints compares a kernel-emulated endpoint
+// (§3.5) against a real one.
+func BenchmarkAblation_EmulatedEndpoints(b *testing.B) {
+	var real, emu float64
+	for i := 0; i < b.N; i++ {
+		real = us(experiments.RawRTT(nic.SBA200Params(), 32, benchRounds))
+		emu = us(experiments.EmulatedEndpointRTT(32, benchRounds))
+	}
+	b.ReportMetric(real, "µs/real-endpoint")
+	b.ReportMetric(emu, "µs/emulated")
+}
+
+// BenchmarkAblation_DirectAccess compares base-level buffered delivery
+// against direct-access deposits (§3.6).
+func BenchmarkAblation_DirectAccess(b *testing.B) {
+	var base, direct float64
+	for i := 0; i < b.N; i++ {
+		base, direct = experiments.DirectAccessRTT(2048, benchRounds)
+	}
+	b.ReportMetric(base, "µs/base-level")
+	b.ReportMetric(direct, "µs/direct-access")
+}

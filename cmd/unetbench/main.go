@@ -1,0 +1,69 @@
+// Command unetbench regenerates every table and figure from the paper's
+// evaluation (Tables 1-3, Figures 3-9) as text tables.
+//
+// Usage:
+//
+//	unetbench                      # run everything at quick scale
+//	unetbench -experiment fig4     # one experiment
+//	unetbench -experiment table3,fig8
+//	unetbench -paper               # paper-scale Split-C problem sizes
+//	unetbench -rounds 100          # more ping-pong rounds per point
+//
+// Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"unet/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("experiment", "all", "comma-separated experiment ids (table1..3, fig3..9, all)")
+		paper   = flag.Bool("paper", false, "use the paper's full Split-C problem sizes (slower)")
+		rounds  = flag.Int("rounds", 40, "ping-pong rounds per latency point")
+		count   = flag.Int("count", 200, "messages per bandwidth point")
+	)
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	if *paper {
+		sc = experiments.PaperScale()
+	}
+
+	run := map[string]func(){
+		"table1":    func() { fmt.Println(experiments.Table1()) },
+		"table2":    func() { fmt.Println(experiments.Table2(*rounds)) },
+		"table3":    func() { fmt.Println(experiments.Table3(*rounds, *count)) },
+		"fig3":      func() { fmt.Println(experiments.Fig3(*rounds)) },
+		"fig4":      func() { fmt.Println(experiments.Fig4(*count)) },
+		"fig5":      func() { fmt.Println(experiments.Fig5(sc)) },
+		"fig6":      func() { fmt.Println(experiments.Fig6(*rounds / 2)) },
+		"fig7":      func() { fmt.Println(experiments.Fig7(*count)) },
+		"fig8":      func() { fmt.Println(experiments.Fig8(1 << 20)) },
+		"fig9":      func() { fmt.Println(experiments.Fig9(*rounds / 2)) },
+		"ablations": func() { fmt.Println(experiments.AblationTable(*rounds / 2)) },
+	}
+	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations"}
+
+	ids := order
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(strings.ToLower(id))
+		fn, ok := run[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unetbench: unknown experiment %q (have %s)\n", id, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		fn()
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,95 @@
+// Command unetsim runs ad-hoc experiments on the simulated U-Net cluster:
+// a single latency/bandwidth measurement for a chosen protocol stack and
+// message size, printed as one line. Useful for exploring the parameter
+// space beyond the paper's sweeps.
+//
+// Usage:
+//
+//	unetsim -proto raw  -size 40         # raw U-Net ping-pong
+//	unetsim -proto uam  -size 4096 -bw   # UAM block-store bandwidth
+//	unetsim -proto udp  -path kernel-atm # kernel UDP over the Fore ATM
+//	unetsim -proto tcp  -bw -window 8192
+//	unetsim -proto fore -size 32         # the stock-firmware baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unet/internal/experiments"
+	"unet/internal/nic"
+	"unet/internal/stats"
+	"unet/internal/uam"
+)
+
+func main() {
+	var (
+		proto  = flag.String("proto", "raw", "raw | fore | sba100 | uam | udp | tcp")
+		path   = flag.String("path", "unet", "udp/tcp path: unet | kernel-atm | kernel-eth")
+		size   = flag.Int("size", 32, "message size in bytes")
+		bw     = flag.Bool("bw", false, "measure streaming bandwidth instead of round-trip latency")
+		rounds = flag.Int("rounds", 50, "ping-pong rounds")
+		count  = flag.Int("count", 300, "messages per bandwidth run")
+		window = flag.Int("window", 8192, "TCP window in bytes")
+	)
+	flag.Parse()
+
+	kind := experiments.PathUNet
+	switch *path {
+	case "unet":
+	case "kernel-atm":
+		kind = experiments.PathKernelATM
+	case "kernel-eth":
+		kind = experiments.PathKernelEth
+	default:
+		fmt.Fprintf(os.Stderr, "unetsim: unknown path %q\n", *path)
+		os.Exit(2)
+	}
+
+	switch *proto {
+	case "raw", "fore", "sba100":
+		params := nic.SBA200Params()
+		if *proto == "fore" {
+			params = nic.ForeParams()
+		} else if *proto == "sba100" {
+			params = nic.SBA100Params()
+		}
+		if *bw {
+			res := experiments.RawBandwidth(params, *size, *count)
+			fmt.Printf("%s bandwidth @%dB: %.2f MB/s (%d delivered, %d dropped)\n",
+				*proto, *size, res.MBps(), res.Delivered, res.Dropped)
+		} else {
+			rtt := experiments.RawRTT(params, *size, *rounds)
+			fmt.Printf("%s RTT @%dB: %.1f µs\n", *proto, *size, stats.US(rtt))
+		}
+	case "uam":
+		if *bw {
+			fmt.Printf("uam store bandwidth @%dB: %.2f MB/s\n", *size,
+				experiments.UAMStoreBandwidth(uam.Config{}, *size, *count))
+		} else {
+			fmt.Printf("uam RTT @%dB: %.1f µs\n", *size,
+				stats.US(experiments.UAMPingPong(uam.Config{}, *size, *rounds)))
+		}
+	case "udp":
+		if *bw {
+			sent, recv := experiments.UDPBandwidth(kind, *size, *count)
+			fmt.Printf("udp/%s bandwidth @%dB: sent %.2f MB/s, received %.2f MB/s\n",
+				kind, *size, sent, recv)
+		} else {
+			fmt.Printf("udp/%s RTT @%dB: %.1f µs\n", kind, *size,
+				stats.US(experiments.UDPRTT(kind, *size, *rounds)))
+		}
+	case "tcp":
+		if *bw {
+			fmt.Printf("tcp/%s bandwidth (window %d, %dB writes): %.2f MB/s\n",
+				kind, *window, *size, experiments.TCPBandwidth(kind, *window, *size, 2<<20))
+		} else {
+			fmt.Printf("tcp/%s RTT @%dB: %.1f µs\n", kind, *size,
+				stats.US(experiments.TCPRTT(kind, *size, *rounds)))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unetsim: unknown proto %q\n", *proto)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,125 @@
+// Multiple services over one U-Net channel: the §7.1 flow demultiplexer.
+//
+// U-Net endpoints and channels are finite resources, so the paper plans an
+// "IP-over-ATM" mode where one dedicated channel carries all IP traffic
+// between two hosts and an extra demultiplexing level dispatches packets
+// by [flow-id, source] tag — with unresolved tags handed to the kernel.
+// This example runs a TCP byte service and a UDP datagram service over a
+// single pair of U-Net endpoints, plus one stray flow that lands in the
+// kernel fallback.
+//
+// Run with: go run ./examples/multiservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"unet/internal/ip"
+	"unet/internal/ip/tcp"
+	"unet/internal/ip/udp"
+	"unet/internal/sim"
+	"unet/internal/testbed"
+)
+
+func main() {
+	tb := testbed.New(testbed.Config{Hosts: 2})
+	defer tb.Close()
+
+	// One U-Net channel for everything.
+	base0, base1, err := tb.NewIPConduitPair(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux0, mux1 := ip.NewFlowMux(base0), ip.NewFlowMux(base1)
+
+	// Flow 1: TCP. Flow 2: UDP. Flow 7: nobody listens — kernel fallback.
+	tcp0, _ := mux0.Open(1)
+	tcp1, _ := mux1.Open(1)
+	udp0, _ := mux0.Open(2)
+	udp1, _ := mux1.Open(2)
+	stray, _ := mux0.Open(7)
+	mux1.SetFallback(func(p *sim.Proc, pkt []byte) {
+		fmt.Printf("[%8v] kernel fallback: %d-byte packet on flow %d\n",
+			p.Now().Round(time.Microsecond), len(pkt), ip.FlowLabel(pkt))
+	})
+
+	tconn0 := tcp.New(tcp0, 9000, 80, tcp.DefaultParams())
+	tconn1 := tcp.New(tcp1, 80, 9000, tcp.DefaultParams())
+	ustack0 := udp.NewStack(udp0, udp.DefaultParams())
+	ustack1 := udp.NewStack(udp1, udp.DefaultParams())
+	usock0, _ := ustack0.Bind(100, 0)
+	usock1, _ := ustack1.Bind(200, 0)
+
+	// Host 1 serves both protocols from separate processes.
+	tb.Hosts[1].Spawn("tcp-server", func(p *sim.Proc) {
+		if err := tconn1.Accept(p, time.Second); err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		echoed := 0
+		for echoed < 16<<10 {
+			n, err := tconn1.Read(p, buf, time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tconn1.Write(p, buf[:n])
+			echoed += n
+		}
+		for k := 0; k < 50; k++ {
+			tconn1.Poll(p)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	tb.Hosts[1].Spawn("udp-server", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			data, src, ok := usock1.RecvFrom(p, 50*time.Millisecond)
+			if !ok {
+				return
+			}
+			fmt.Printf("[%8v] udp service: %q\n", p.Now().Round(time.Microsecond), data)
+			usock1.SendTo(p, src, append([]byte("ack: "), data...))
+		}
+	})
+
+	// Host 0 exercises all three flows.
+	tb.Hosts[0].Spawn("tcp-client", func(p *sim.Proc) {
+		if err := tconn0.Dial(p, time.Second); err != nil {
+			log.Fatal(err)
+		}
+		payload := make([]byte, 16<<10)
+		t0 := p.Now()
+		tconn0.Write(p, payload)
+		buf := make([]byte, 4096)
+		got := 0
+		for got < len(payload) {
+			n, err := tconn0.Read(p, buf, time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got += n
+		}
+		fmt.Printf("[%8v] tcp echo of 16 KB done in %v\n",
+			p.Now().Round(time.Microsecond), p.Now()-t0)
+	})
+	tb.Hosts[0].Spawn("udp-client", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			usock0.SendTo(p, 200, []byte(fmt.Sprintf("datagram %d", i)))
+			if data, _, ok := usock0.RecvFrom(p, 50*time.Millisecond); ok {
+				fmt.Printf("[%8v] udp client: %q\n", p.Now().Round(time.Microsecond), data)
+			}
+		}
+	})
+	tb.Hosts[0].Spawn("stray", func(p *sim.Proc) {
+		pkt := make([]byte, ip.HeaderSize+6)
+		ip.Header{Proto: ip.ProtoUDP, Length: len(pkt), Src: stray.LocalAddr(), Dst: stray.RemoteAddr()}.Encode(pkt)
+		copy(pkt[ip.HeaderSize:], "stray!")
+		stray.Send(p, pkt)
+	})
+
+	tb.Eng.Run()
+	st := mux1.Stats()
+	fmt.Printf("host 1 demux: %d dispatched to flows, %d to the kernel fallback\n",
+		st.Dispatched, st.Fallback)
+}

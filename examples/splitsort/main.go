@@ -1,0 +1,50 @@
+// Split-C sample sort on three machines: the §6 experiment in miniature.
+//
+// The same distributed sample-sort program (internal/splitc/apps) runs on
+// the simulated U-Net ATM cluster, the CM-5 model and the Meiko CS-2
+// model, in both its small-message and bulk-transfer variants, and the
+// program prints the normalized execution times — the shape of Figure 5:
+// the CM-5's cheap small messages win the small-message variant, bulk
+// transfers flip the ranking, and the ATM cluster lands near the Meiko.
+//
+// Run with: go run ./examples/splitsort [-keys 8192] [-procs 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"unet/internal/experiments"
+	"unet/internal/splitc/apps"
+)
+
+func main() {
+	keys := flag.Int("keys", 8192, "keys per processor")
+	procs := flag.Int("procs", 8, "processors")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	sc.Procs = *procs
+	sc.Sort = apps.SortConfig{KeysPerNode: *keys, Oversample: 64, Seed: 1}
+
+	machines := []experiments.MachineKind{
+		experiments.MachineCM5,
+		experiments.MachineUNetATM,
+		experiments.MachineMeiko,
+	}
+	for _, variant := range []string{"sample sort (small msg)", "sample sort (bulk)"} {
+		fmt.Printf("%s — %d keys on %d processors\n", variant, *keys**procs, *procs)
+		var base time.Duration
+		for _, m := range machines {
+			r := experiments.RunSplitCBench(m, variant, sc)
+			if m == experiments.MachineCM5 {
+				base = r.Time
+			}
+			fmt.Printf("  %-12s %10v  (%.2f× CM-5)   comm %v / compute %v\n",
+				m, r.Time.Round(10*time.Microsecond), float64(r.Time)/float64(base),
+				r.Comm.Round(10*time.Microsecond), r.Compute.Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+}

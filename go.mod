@@ -1,0 +1,3 @@
+module unet
+
+go 1.22

@@ -1,0 +1,90 @@
+package atm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AAL5 reassembly and validation errors.
+var (
+	// ErrPDUTooLong reports a payload exceeding the AAL5 length field.
+	ErrPDUTooLong = errors.New("atm: AAL5 PDU exceeds 65535 bytes")
+	// ErrBadCRC reports an AAL5 CRC-32 mismatch on reassembly. ATM discards
+	// the entire PDU in this case — the behaviour behind Romanow & Floyd's
+	// observation (paper §7.8) that one lost cell costs a whole segment.
+	ErrBadCRC = errors.New("atm: AAL5 CRC-32 mismatch")
+	// ErrBadLength reports an AAL5 length field inconsistent with the
+	// number of cells received (typically a lost cell).
+	ErrBadLength = errors.New("atm: AAL5 length inconsistent with cells received")
+)
+
+// Segment builds the AAL5 PDU for payload and splits it into cells on vci.
+// The last cell carries the pad bytes, the 8-byte CPCS trailer (UU=0,
+// CPI=0, 16-bit length, CRC-32) and the end-of-PDU mark. Segment panics if
+// payload exceeds MaxPDU; callers are expected to enforce their MTU first.
+func Segment(vci VCI, payload []byte) []Cell {
+	if len(payload) > MaxPDU {
+		panic(fmt.Sprintf("atm: Segment called with %d-byte payload", len(payload)))
+	}
+	ncells := CellsFor(len(payload))
+	if ncells == 0 {
+		ncells = 1 // a zero-byte PDU still occupies one cell (trailer only)
+	}
+	pdu := make([]byte, ncells*PayloadSize)
+	copy(pdu, payload)
+	binary.BigEndian.PutUint16(pdu[len(pdu)-4-2:], uint16(len(payload)))
+	crc := CRC32(pdu[:len(pdu)-4])
+	binary.BigEndian.PutUint32(pdu[len(pdu)-4:], crc)
+
+	cells := make([]Cell, ncells)
+	for i := range cells {
+		cells[i].VCI = vci
+		copy(cells[i].Payload[:], pdu[i*PayloadSize:])
+	}
+	cells[ncells-1].EOP = true
+	return cells
+}
+
+// Reassembler accumulates the cells of one AAL5 PDU on a single VCI.
+// The zero value is ready to use. The caller (a NIC model) keeps one
+// Reassembler per receive VCI, mirroring the per-VCI reassembly state the
+// SBA-200 firmware maintains.
+type Reassembler struct {
+	buf   []byte
+	cells int
+}
+
+// Pending reports how many cells of an incomplete PDU are buffered.
+func (r *Reassembler) Pending() int { return r.cells }
+
+// Reset discards any partial PDU.
+func (r *Reassembler) Reset() {
+	r.buf = r.buf[:0]
+	r.cells = 0
+}
+
+// Add feeds the next cell. When c completes a PDU (c.EOP), Add validates
+// the trailer and returns the payload; otherwise it returns (nil, nil).
+// On validation failure the partial state is discarded and an error
+// describing the corruption is returned.
+func (r *Reassembler) Add(c Cell) ([]byte, error) {
+	r.buf = append(r.buf, c.Payload[:]...)
+	r.cells++
+	if !c.EOP {
+		return nil, nil
+	}
+	pdu := r.buf
+	n := int(binary.BigEndian.Uint16(pdu[len(pdu)-4-2:]))
+	defer r.Reset()
+	if CellsFor(n) != r.cells && !(n == 0 && r.cells == 1) {
+		return nil, fmt.Errorf("%w: length=%d cells=%d", ErrBadLength, n, r.cells)
+	}
+	want := binary.BigEndian.Uint32(pdu[len(pdu)-4:])
+	if got := CRC32(pdu[:len(pdu)-4]); got != want {
+		return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadCRC, got, want)
+	}
+	out := make([]byte, n)
+	copy(out, pdu[:n])
+	return out, nil
+}

@@ -1,0 +1,196 @@
+// Package experiments contains the measurement drivers and the per-table /
+// per-figure harnesses that regenerate every result in the paper's
+// evaluation (Tables 1-3, Figures 3-9). The cmd/unetbench binary and the
+// top-level benchmarks both call into this package, so `go test -bench`
+// and the CLI print the same numbers.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"unet/internal/nic"
+	"unet/internal/sim"
+	"unet/internal/testbed"
+	"unet/internal/uam"
+	"unet/internal/unet"
+)
+
+// RawRTT measures the raw U-Net round-trip time for size-byte messages on
+// an SBA-200 pair (Figure 3, "Raw U-Net").
+func RawRTT(nicp nic.Params, size, rounds int) time.Duration {
+	tb := testbed.New(testbed.Config{Hosts: 2, NIC: &nicp})
+	defer tb.Close()
+	pr, err := tb.NewPair(0, 1, unet.EndpointConfig{}, 32)
+	if err != nil {
+		panic(err)
+	}
+	return pr.PingPong(rounds, size)
+}
+
+// RawBandwidth measures raw U-Net streaming bandwidth (Figure 4, "Raw
+// U-Net").
+func RawBandwidth(nicp nic.Params, size, count int) testbed.StreamResult {
+	tb := testbed.New(testbed.Config{Hosts: 2, NIC: &nicp})
+	defer tb.Close()
+	pr, err := tb.NewPair(0, 1, unet.EndpointConfig{}, 32)
+	if err != nil {
+		panic(err)
+	}
+	return pr.Stream(count, size)
+}
+
+// uamPairTB builds two connected UAM nodes. The caller owns tb.Close.
+func uamPairTB(cfg uam.Config) (*testbed.Testbed, *uam.UAM, *uam.UAM) {
+	tb := testbed.New(testbed.Config{Hosts: 2})
+	a, err := uam.New(tb.Hosts[0].NewProcess("am"), 0, cfg)
+	if err != nil {
+		panic(err)
+	}
+	b, err := uam.New(tb.Hosts[1].NewProcess("am"), 1, cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := uam.Connect(tb.Manager, a, b); err != nil {
+		panic(err)
+	}
+	return tb, a, b
+}
+
+// Handler indices used by the drivers.
+const (
+	hEcho  = 1
+	hEchoR = 2
+	hNoop  = 3
+)
+
+// UAMPingPong measures the UAM request/reply round-trip time with
+// size-byte payloads (Figure 3, "UAM" for ≤32 B and "UAM xfer" beyond).
+func UAMPingPong(cfg uam.Config, size, rounds int) time.Duration {
+	tb, a, b := uamPairTB(cfg)
+	defer tb.Close()
+	payload := make([]byte, size)
+	done := false
+	gotReply := false
+	b.RegisterHandler(hEcho, func(u *uam.UAM, p *sim.Proc, src int, arg uint32, data []byte) {
+		if err := u.Reply(p, hEchoR, arg, data); err != nil {
+			panic(err)
+		}
+	})
+	a.RegisterHandler(hEchoR, func(u *uam.UAM, p *sim.Proc, src int, arg uint32, data []byte) {
+		gotReply = true
+	})
+	var start, end time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for !done {
+			if b.PollWait(p, time.Millisecond) == 0 && done {
+				return
+			}
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		for i := 0; i < rounds+1; i++ {
+			if i == 1 {
+				start = p.Now()
+			}
+			gotReply = false
+			if err := a.Request(p, 1, hEcho, uint32(i), payload); err != nil {
+				panic(err)
+			}
+			for !gotReply {
+				a.PollWait(p, time.Millisecond)
+			}
+		}
+		end = p.Now()
+		done = true
+	})
+	tb.Eng.Run()
+	return (end - start) / time.Duration(rounds)
+}
+
+// UAMStoreBandwidth measures GAM block-store streaming bandwidth
+// (Figure 4, "UAM store"): blocks of the given size are stored to the
+// remote node in a loop and the total time measured (§5.2).
+func UAMStoreBandwidth(cfg uam.Config, size, count int) float64 {
+	tb, a, b := uamPairTB(cfg)
+	defer tb.Close()
+	block := make([]byte, size)
+	done := false
+	var elapsed time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for !done {
+			b.PollWait(p, time.Millisecond)
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		// Warm the pipe with one block, then measure.
+		if err := a.Store(p, 1, 0, block, 0, 0); err != nil {
+			panic(err)
+		}
+		a.Flush(p, 1)
+		t0 := p.Now()
+		for i := 0; i < count; i++ {
+			if err := a.Store(p, 1, 0, block, 0, 0); err != nil {
+				panic(err)
+			}
+		}
+		a.Flush(p, 1)
+		elapsed = p.Now() - t0
+		done = true
+	})
+	tb.Eng.Run()
+	return float64(size*count) / elapsed.Seconds() / 1e6
+}
+
+// UAMGetBandwidth measures GAM block-get streaming bandwidth (Figure 4,
+// "UAM get"): a series of requests fetches blocks from the remote node
+// and the caller waits until all arrive (§5.2).
+func UAMGetBandwidth(cfg uam.Config, size, count int) float64 {
+	tb, a, b := uamPairTB(cfg)
+	defer tb.Close()
+	done := false
+	var elapsed time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for !done {
+			b.PollWait(p, time.Millisecond)
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		warm, err := a.Get(p, 1, 0, 0, size)
+		if err != nil {
+			panic(err)
+		}
+		a.WaitGet(p, warm)
+		t0 := p.Now()
+		tags := make([]uint32, 0, count)
+		for i := 0; i < count; i++ {
+			tag, err := a.Get(p, 1, 0, 0, size)
+			if err != nil {
+				panic(err)
+			}
+			tags = append(tags, tag)
+		}
+		for _, tag := range tags {
+			a.WaitGet(p, tag)
+		}
+		elapsed = p.Now() - t0
+		done = true
+	})
+	tb.Eng.Run()
+	return float64(size*count) / elapsed.Seconds() / 1e6
+}
+
+// AAL5Limit is the theoretical peak payload bandwidth of the fiber for
+// size-byte messages, with the 48-byte cell quantization sawtooth
+// (Figure 4, "AAL-5 limit").
+func AAL5Limit(size int) float64 {
+	cells := (size + 8 + 47) / 48
+	wire := time.Duration(cells) * 3158 * time.Nanosecond
+	return float64(size) / wire.Seconds() / 1e6
+}
+
+func mustNoErr(err error, what string) {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", what, err))
+	}
+}

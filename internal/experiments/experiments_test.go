@@ -1,0 +1,181 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"unet/internal/experiments"
+	"unet/internal/nic"
+	"unet/internal/stats"
+	"unet/internal/uam"
+)
+
+// These tests assert the *shapes* the paper's figures report — who wins,
+// where the jumps and crossovers sit — using the same drivers that
+// regenerate the tables and figures.
+
+func TestFig3Shape(t *testing.T) {
+	p := nic.SBA200Params()
+	r40 := stats.US(experiments.RawRTT(p, 40, 20))
+	r48 := stats.US(experiments.RawRTT(p, 48, 20))
+	r1024 := stats.US(experiments.RawRTT(p, 1024, 20))
+	// Single-cell fast path, then the jump to the multi-cell path, then
+	// the ~6 µs/cell slope.
+	if r48 < 1.7*r40 {
+		t.Errorf("no fast-path jump: RTT(48)=%.0f vs RTT(40)=%.0f", r48, r40)
+	}
+	if r1024 <= r48 {
+		t.Errorf("RTT not increasing with size: %.0f vs %.0f", r1024, r48)
+	}
+	am16 := stats.US(experiments.UAMPingPong(uam.Config{}, 16, 20))
+	if am16 <= r40 {
+		t.Errorf("UAM RTT %.0f not above raw %.0f", am16, r40)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	p := nic.SBA200Params()
+	for _, n := range []int{256, 800, 4096} {
+		raw := experiments.RawBandwidth(p, n, 150).MBps()
+		limit := experiments.AAL5Limit(n)
+		if raw > limit*1.02 {
+			t.Errorf("raw bandwidth %.2f exceeds AAL-5 limit %.2f at %d", raw, limit, n)
+		}
+		if n >= 800 && raw < 0.93*limit {
+			t.Errorf("fiber not saturated at %d: %.2f vs limit %.2f", n, raw, limit)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-machine Split-C sweep")
+	}
+	sc := experiments.QuickScale()
+	sc.Procs = 4 // keep the all-to-all UAM mesh affordable in tests
+
+	norm := func(name string) (atm, meiko float64) {
+		cm5 := experiments.RunSplitCBench(experiments.MachineCM5, name, sc)
+		a := experiments.RunSplitCBench(experiments.MachineUNetATM, name, sc)
+		m := experiments.RunSplitCBench(experiments.MachineMeiko, name, sc)
+		return float64(a.Time) / float64(cm5.Time), float64(m.Time) / float64(cm5.Time)
+	}
+
+	// Bulk-optimized matrix multiply: the CM-5's slow CPU and low
+	// bandwidth lose; the ATM cluster and Meiko come out ahead.
+	atmMM, meikoMM := norm("matrix multiply")
+	if atmMM >= 1 || meikoMM >= 1 {
+		t.Errorf("matrix multiply: ATM %.2f / Meiko %.2f should beat CM-5 (<1)", atmMM, meikoMM)
+	}
+	// Small-message sample sort: the CM-5's per-message overhead advantage
+	// wins against the ATM cluster.
+	atmSS, _ := norm("sample sort (small msg)")
+	if atmSS <= 1 {
+		t.Errorf("small-message sample sort: ATM %.2f should lose to CM-5 (>1)", atmSS)
+	}
+	// ATM cluster and Meiko roughly equivalent overall (§6).
+	if atmSS > 0 {
+		_, meikoSS := norm("sample sort (small msg)")
+		ratio := atmSS / meikoSS
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("ATM/Meiko sample-sort ratio %.2f not 'roughly equivalent'", ratio)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	small := 8
+	large := 1400
+	atmS := experiments.UDPRTT(experiments.PathKernelATM, small, 10)
+	ethS := experiments.UDPRTT(experiments.PathKernelEth, small, 10)
+	atmL := experiments.UDPRTT(experiments.PathKernelATM, large, 10)
+	ethL := experiments.UDPRTT(experiments.PathKernelEth, large, 10)
+	if atmS <= ethS {
+		t.Errorf("small messages: kernel ATM RTT %v ≤ Ethernet %v", atmS, ethS)
+	}
+	if atmL >= ethL {
+		t.Errorf("large messages: kernel ATM RTT %v ≥ Ethernet %v", atmL, ethL)
+	}
+	tcpS := experiments.TCPRTT(experiments.PathKernelATM, small, 10)
+	udpS := atmS
+	if tcpS <= udpS {
+		t.Errorf("kernel TCP RTT %v not above kernel UDP %v", tcpS, udpS)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	// U-Net UDP lossless and far above the kernel received curve.
+	_, un := experiments.UDPBandwidth(experiments.PathUNet, 4096, 150)
+	ks, kr := experiments.UDPBandwidth(experiments.PathKernelATM, 4096, 150)
+	if un < 13 {
+		t.Errorf("U-Net UDP at 4K = %.2f MB/s, want near the AAL-5 limit", un)
+	}
+	if kr >= un {
+		t.Errorf("kernel received %.2f ≥ U-Net %.2f", kr, un)
+	}
+	if kr > ks*1.02 {
+		t.Errorf("kernel received %.2f above sender-perceived %.2f", kr, ks)
+	}
+	// Mbuf sawtooth: a packet rounding to clusters beats a slightly
+	// smaller one needing small-mbuf chains.
+	_, r1500 := experiments.UDPBandwidth(experiments.PathKernelATM, 1500-28, 150)
+	_, r1536 := experiments.UDPBandwidth(experiments.PathKernelATM, 1536-28, 150)
+	if r1536 <= r1500 {
+		t.Errorf("no mbuf sawtooth: recv(1536)=%.2f ≤ recv(1500)=%.2f", r1536, r1500)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	un := experiments.TCPBandwidth(experiments.PathUNet, 8<<10, 8192, 1<<20)
+	k64 := experiments.TCPBandwidth(experiments.PathKernelATM, 64<<10, 8192, 8<<20)
+	if un < 13.5 || un > 15.5 {
+		t.Errorf("U-Net TCP (8K window) = %.2f MB/s, want 14-15", un)
+	}
+	if k64 < 7 || k64 > 11 {
+		t.Errorf("kernel TCP (64K window) = %.2f MB/s, want ~9-10", k64)
+	}
+	if un <= k64 {
+		t.Errorf("U-Net TCP %.2f not above kernel TCP %.2f despite 8x smaller window", un, k64)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	uu := experiments.UDPRTT(experiments.PathUNet, 4, 20)
+	ut := experiments.TCPRTT(experiments.PathUNet, 4, 20)
+	ku := experiments.UDPRTT(experiments.PathKernelATM, 4, 10)
+	kt := experiments.TCPRTT(experiments.PathKernelATM, 4, 10)
+	if ku < 3*uu || kt < 3*ut {
+		t.Errorf("kernel (%v/%v) not ≫ U-Net (%v/%v)", ku, kt, uu, ut)
+	}
+	if ut <= uu {
+		t.Errorf("U-Net TCP RTT %v not above UDP %v", ut, uu)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table generation")
+	}
+	t1 := experiments.Table1().String()
+	if !strings.Contains(t1, "Send overhead (AAL5)") {
+		t.Errorf("Table 1 missing rows:\n%s", t1)
+	}
+	t3 := experiments.Table3(20, 120).String()
+	for _, proto := range []string{"Raw AAL5", "Active Msgs", "UDP", "TCP", "Split-C store"} {
+		if !strings.Contains(t3, proto) {
+			t.Errorf("Table 3 missing %q:\n%s", proto, t3)
+		}
+	}
+}
+
+func TestTable2Measured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("machine sweep")
+	}
+	tab := experiments.Table2(20).String()
+	for _, m := range []string{"CM-5", "Meiko CS-2", "U-Net ATM"} {
+		if !strings.Contains(tab, m) {
+			t.Errorf("Table 2 missing %q:\n%s", m, tab)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"unet/internal/nic"
+	"unet/internal/stats"
+	"unet/internal/uam"
+)
+
+// Fig3Sizes is the message-size sweep of Figure 3 (0-1 KB).
+var Fig3Sizes = []int{4, 8, 16, 32, 40, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024}
+
+// Fig3 reproduces Figure 3: U-Net round-trip times as a function of
+// message size — Raw U-Net, UAM single-cell request/reply (≤ 32 B) and
+// UAM block transfers.
+func Fig3(rounds int) *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Figure 3: round-trip times vs message size",
+		XLabel: "bytes",
+		YLabel: "µs",
+	}
+	raw := &stats.Series{Name: "Raw U-Net"}
+	am := &stats.Series{Name: "UAM"}
+	xfer := &stats.Series{Name: "UAM xfer"}
+	for _, n := range Fig3Sizes {
+		raw.Add(float64(n), stats.US(RawRTT(nic.SBA200Params(), n, rounds)))
+		if n <= 32 {
+			am.Add(float64(n), stats.US(UAMPingPong(uam.Config{}, n, rounds)))
+		} else {
+			xfer.Add(float64(n), stats.US(UAMPingPong(uam.Config{}, n, rounds)))
+		}
+	}
+	f.Series = []*stats.Series{raw, am, xfer}
+	return f
+}
+
+// Fig4Sizes is the message-size sweep of Figure 4 (4 B-5 KB).
+var Fig4Sizes = []int{
+	4, 8, 16, 32, 40, 64, 128, 256, 512, 800, 1024, 1536, 2048, 3072, 4096,
+	4160, 4164, 5120,
+}
+
+// Fig4 reproduces Figure 4: U-Net bandwidth as a function of message size
+// — the AAL-5 fiber limit (with its cell-quantization sawtooth), raw
+// U-Net, and UAM block store/get.
+func Fig4(count int) *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Figure 4: bandwidth vs message size",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+	}
+	limit := &stats.Series{Name: "AAL-5 limit"}
+	raw := &stats.Series{Name: "Raw U-Net"}
+	store := &stats.Series{Name: "UAM store"}
+	get := &stats.Series{Name: "UAM get"}
+	for _, n := range Fig4Sizes {
+		limit.Add(float64(n), AAL5Limit(n))
+		raw.Add(float64(n), RawBandwidth(nic.SBA200Params(), n, count).MBps())
+		store.Add(float64(n), UAMStoreBandwidth(uam.Config{}, n, count))
+		get.Add(float64(n), UAMGetBandwidth(uam.Config{}, n, count/2))
+	}
+	f.Series = []*stats.Series{limit, raw, store, get}
+	return f
+}
+
+// Fig5 reproduces Figure 5: the seven Split-C benchmarks on the CM-5, the
+// U-Net ATM cluster and the Meiko CS-2, normalized to the CM-5, with the
+// communication/computation split.
+func Fig5(sc SplitCScale) *stats.Table {
+	t := stats.NewTable("Figure 5: Split-C benchmarks (execution time normalized to CM-5)")
+	t.Header("Benchmark", "CM-5", "U-Net ATM", "Meiko CS-2",
+		"ATM comm/comp", "CM-5 comm/comp")
+	for _, name := range SplitCBenchNames {
+		cm5 := RunSplitCBench(MachineCM5, name, sc)
+		atm := RunSplitCBench(MachineUNetATM, name, sc)
+		meiko := RunSplitCBench(MachineMeiko, name, sc)
+		base := float64(cm5.Time)
+		t.Row(name,
+			"1.00",
+			fmt.Sprintf("%.2f", float64(atm.Time)/base),
+			fmt.Sprintf("%.2f", float64(meiko.Time)/base),
+			fmt.Sprintf("%.0f%%/%.0f%%",
+				100*float64(atm.Comm)/float64(atm.Time),
+				100*float64(atm.Compute)/float64(atm.Time)),
+			fmt.Sprintf("%.0f%%/%.0f%%",
+				100*float64(cm5.Comm)/float64(cm5.Time),
+				100*float64(cm5.Compute)/float64(cm5.Time)))
+	}
+	return t
+}
+
+// Fig6Sizes is the small-message sweep of Figure 6.
+var Fig6Sizes = []int{8, 32, 64, 128, 256, 512, 1024, 1400}
+
+// Fig6 reproduces Figure 6: kernel TCP and UDP round-trip latencies over
+// ATM and over Ethernet — for small messages ATM is *worse*, the
+// observation that motivates §7.
+func Fig6(rounds int) *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Figure 6: kernel TCP/UDP round-trip latencies, ATM vs Ethernet",
+		XLabel: "bytes",
+		YLabel: "µs",
+	}
+	udpATM := &stats.Series{Name: "UDP ATM"}
+	udpEth := &stats.Series{Name: "UDP Ethernet"}
+	tcpATM := &stats.Series{Name: "TCP ATM"}
+	tcpEth := &stats.Series{Name: "TCP Ethernet"}
+	for _, n := range Fig6Sizes {
+		udpATM.Add(float64(n), stats.US(UDPRTT(PathKernelATM, n, rounds)))
+		udpEth.Add(float64(n), stats.US(UDPRTT(PathKernelEth, n, rounds)))
+		tcpATM.Add(float64(n), stats.US(TCPRTT(PathKernelATM, n, rounds)))
+		tcpEth.Add(float64(n), stats.US(TCPRTT(PathKernelEth, n, rounds)))
+	}
+	f.Series = []*stats.Series{udpATM, udpEth, tcpATM, tcpEth}
+	return f
+}
+
+// Fig7Sizes is the datagram-size sweep of Figure 7.
+var Fig7Sizes = []int{512, 1024, 1500, 1536, 2048, 2500, 3072, 4096, 6144, 8192}
+
+// Fig7 reproduces Figure 7: UDP bandwidth as a function of message size —
+// U-Net UDP (lossless, near the AAL-5 limit) against the kernel's
+// sender-perceived and actually-received bandwidths, whose divergence is
+// kernel buffering loss and whose jagged shape is the 1 KB mbuf sawtooth.
+func Fig7(count int) *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Figure 7: UDP bandwidth vs message size",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+	}
+	unetRecv := &stats.Series{Name: "U-Net UDP"}
+	kSend := &stats.Series{Name: "kernel UDP (sender)"}
+	kRecv := &stats.Series{Name: "kernel UDP (received)"}
+	for _, n := range Fig7Sizes {
+		_, ur := UDPBandwidth(PathUNet, n, count)
+		unetRecv.Add(float64(n), ur)
+		ks, kr := UDPBandwidth(PathKernelATM, n, count)
+		kSend.Add(float64(n), ks)
+		kRecv.Add(float64(n), kr)
+	}
+	f.Series = []*stats.Series{unetRecv, kSend, kRecv}
+	return f
+}
+
+// Fig8Writes is the application write-size sweep of Figure 8.
+var Fig8Writes = []int{512, 1024, 2048, 4096, 8192, 16384}
+
+// Fig8 reproduces Figure 8: TCP bandwidth as a function of the data
+// generation by the application — U-Net TCP with its standard 8 KB window
+// against the kernel TCP with a 64 KB window (and the kernel's default
+// 52 KB socket buffer).
+func Fig8(total int) *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Figure 8: TCP bandwidth vs application write size",
+		XLabel: "bytes per write",
+		YLabel: "MB/s",
+	}
+	un := &stats.Series{Name: "U-Net TCP (8K window)"}
+	k64 := &stats.Series{Name: "kernel TCP (64K window)"}
+	k52 := &stats.Series{Name: "kernel TCP (52K window)"}
+	for _, w := range Fig8Writes {
+		un.Add(float64(w), TCPBandwidth(PathUNet, 8<<10, w, total))
+		// The kernel path needs a longer stream: its slow-start stalls on
+		// the 200 ms delayed-ack timer and only amortizes over megabytes.
+		k64.Add(float64(w), TCPBandwidth(PathKernelATM, 64<<10, w, 8*total))
+		k52.Add(float64(w), TCPBandwidth(PathKernelATM, 52<<10, w, 8*total))
+	}
+	f.Series = []*stats.Series{un, k64, k52}
+	return f
+}
+
+// Fig9Sizes is the message-size sweep of Figure 9.
+var Fig9Sizes = []int{4, 64, 256, 512, 1024, 2048, 4096}
+
+// Fig9 reproduces Figure 9: UDP and TCP round-trip latencies as a
+// function of message size — the U-Net implementations against the
+// in-kernel ones over the same ATM hardware.
+func Fig9(rounds int) *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Figure 9: UDP and TCP round-trip latencies, U-Net vs kernel",
+		XLabel: "bytes",
+		YLabel: "µs",
+	}
+	uu := &stats.Series{Name: "U-Net UDP"}
+	ut := &stats.Series{Name: "U-Net TCP"}
+	ku := &stats.Series{Name: "kernel UDP"}
+	kt := &stats.Series{Name: "kernel TCP"}
+	for _, n := range Fig9Sizes {
+		uu.Add(float64(n), stats.US(UDPRTT(PathUNet, n, rounds)))
+		ut.Add(float64(n), stats.US(TCPRTT(PathUNet, n, rounds)))
+		ku.Add(float64(n), stats.US(UDPRTT(PathKernelATM, n, rounds)))
+		kt.Add(float64(n), stats.US(TCPRTT(PathKernelATM, n, rounds)))
+	}
+	f.Series = []*stats.Series{uu, ut, ku, kt}
+	return f
+}

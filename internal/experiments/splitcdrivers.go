@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"time"
+
+	"unet/internal/machine"
+	"unet/internal/sim"
+	"unet/internal/splitc"
+	"unet/internal/splitc/apps"
+	"unet/internal/testbed"
+	"unet/internal/uam"
+)
+
+// MachineKind selects a Split-C target machine (Table 2).
+type MachineKind int
+
+// The three machines of §6.
+const (
+	MachineCM5 MachineKind = iota
+	MachineMeiko
+	MachineUNetATM
+)
+
+func (m MachineKind) String() string {
+	switch m {
+	case MachineCM5:
+		return "CM-5"
+	case MachineMeiko:
+		return "Meiko CS-2"
+	default:
+		return "U-Net ATM"
+	}
+}
+
+// splitcNodes builds n Split-C nodes on the requested machine. The caller
+// owns close().
+func splitcNodes(kind MachineKind, n int) (nodes []*splitc.Node, close func()) {
+	switch kind {
+	case MachineUNetATM:
+		tb := testbed.New(testbed.Config{Hosts: n})
+		ams := make([]*uam.UAM, n)
+		for i := 0; i < n; i++ {
+			var err error
+			ams[i], err = uam.New(tb.Hosts[i].NewProcess("splitc"), i, uam.Config{MaxPeers: n})
+			mustNoErr(err, "uam node")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				mustNoErr(uam.Connect(tb.Manager, ams[i], ams[j]), "uam connect")
+			}
+		}
+		nodes = make([]*splitc.Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = splitc.NewNode(splitc.NewUAMTransport(ams[i], tb.Hosts[i], n))
+		}
+		return nodes, tb.Close
+	default:
+		e := sim.New(1)
+		pm := machine.CM5Params()
+		if kind == MachineMeiko {
+			pm = machine.MeikoParams()
+		}
+		m := machine.New(e, pm, n)
+		nodes = make([]*splitc.Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = splitc.NewNode(m.Node(i))
+		}
+		return nodes, e.Shutdown
+	}
+}
+
+// SplitCScale selects the benchmark problem sizes.
+type SplitCScale struct {
+	Procs int
+	Sort  apps.SortConfig
+	MM    apps.MMConfig
+	CC    apps.CCConfig
+	CG    apps.CGConfig
+}
+
+// QuickScale runs in seconds of wall time (default for tests/benches).
+func QuickScale() SplitCScale {
+	return SplitCScale{
+		Procs: 8,
+		Sort:  apps.SortConfig{KeysPerNode: 4096, Oversample: 64, Seed: 1},
+		MM:    apps.MMConfig{Grid: 4, Block: 32},
+		CC:    apps.CCConfig{VerticesPerNode: 1024, Degree: 4, Seed: 3},
+		CG:    apps.CGConfig{Grid: 64, Iters: 25},
+	}
+}
+
+// PaperScale matches §6's problem sizes (4M keys, 128² blocks).
+func PaperScale() SplitCScale {
+	return SplitCScale{
+		Procs: 8,
+		Sort:  apps.PaperSortConfig(),
+		MM:    apps.PaperMMConfig(),
+		CC:    apps.PaperCCConfig(),
+		CG:    apps.PaperCGConfig(),
+	}
+}
+
+// BenchResult is one benchmark on one machine.
+type BenchResult struct {
+	Machine MachineKind
+	Name    string
+	Time    time.Duration
+	Comm    time.Duration
+	Compute time.Duration
+}
+
+// SplitCBenchNames lists the seven §6 applications in figure order.
+var SplitCBenchNames = []string{
+	"matrix multiply",
+	"sample sort (small msg)",
+	"sample sort (bulk)",
+	"radix sort (small msg)",
+	"radix sort (bulk)",
+	"connected components",
+	"conjugate gradient",
+}
+
+// RunSplitCBench runs one named benchmark on one machine.
+func RunSplitCBench(kind MachineKind, name string, sc SplitCScale) BenchResult {
+	nodes, close := splitcNodes(kind, sc.Procs)
+	defer close()
+	var res apps.Result
+	switch name {
+	case "matrix multiply":
+		res, _ = apps.RunMM(nodes, sc.MM)
+	case "sample sort (small msg)":
+		res, _ = apps.RunSampleSort(nodes, sc.Sort, false)
+	case "sample sort (bulk)":
+		res, _ = apps.RunSampleSort(nodes, sc.Sort, true)
+	case "radix sort (small msg)":
+		res, _ = apps.RunRadixSort(nodes, sc.Sort, false)
+	case "radix sort (bulk)":
+		res, _ = apps.RunRadixSort(nodes, sc.Sort, true)
+	case "connected components":
+		res, _ = apps.RunCC(nodes, sc.CC)
+	case "conjugate gradient":
+		res, _ = apps.RunCG(nodes, sc.CG)
+	default:
+		panic("experiments: unknown Split-C benchmark " + name)
+	}
+	return BenchResult{
+		Machine: kind,
+		Name:    name,
+		Time:    res.Time,
+		Comm:    res.MaxComm(),
+		Compute: res.MaxCompute(),
+	}
+}
+
+// SplitCRPCRTT measures a small Split-C request/reply (a global-pointer
+// dereference) on the given machine — Table 2's round-trip column and
+// Table 3's "Split-C store" row.
+func SplitCRPCRTT(kind MachineKind, rounds int) time.Duration {
+	nodes, close := splitcNodes(kind, 2)
+	defer close()
+	nodes[1].OnSmall(func(p *sim.Proc, src int, arg uint32, data []byte) (uint32, []byte) {
+		return arg, data
+	})
+	var rtt time.Duration
+	done := false
+	times := splitc.Run(nodes, func(p *sim.Proc, nd *splitc.Node) {
+		if nd.Self() == 1 {
+			for !done {
+				nd.PollWait(p, time.Millisecond)
+			}
+			return
+		}
+		var start time.Duration
+		payload := make([]byte, 4)
+		for i := 0; i < rounds+1; i++ {
+			if i == 1 {
+				start = p.Now()
+			}
+			nd.RPC(p, 1, uint32(i), payload)
+		}
+		rtt = (p.Now() - start) / time.Duration(rounds)
+		done = true
+	})
+	_ = times
+	return rtt
+}
+
+// SplitCBulkBandwidth measures Split-C bulk-store streaming bandwidth in
+// MB/s on the given machine.
+func SplitCBulkBandwidth(kind MachineKind, size, count int) float64 {
+	nodes, close := splitcNodes(kind, 2)
+	defer close()
+	got := 0
+	var start, end time.Duration
+	nodes[1].OnBulk(func(p *sim.Proc, src int, data []byte) {
+		if got == 0 {
+			start = p.Now()
+		} else {
+			end = p.Now()
+		}
+		got += len(data)
+	})
+	splitc.Run(nodes, func(p *sim.Proc, nd *splitc.Node) {
+		if nd.Self() == 1 {
+			for got < size*count {
+				nd.PollWait(p, time.Millisecond)
+			}
+			return
+		}
+		buf := make([]byte, size)
+		for i := 0; i < count; i++ {
+			nd.Bulk(p, 1, buf)
+		}
+		nd.Flush(p)
+	})
+	if end <= start {
+		return 0
+	}
+	return float64(got-size) / (end - start).Seconds() / 1e6
+}

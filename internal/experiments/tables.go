@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"unet/internal/machine"
+	"unet/internal/nic"
+	"unet/internal/stats"
+	"unet/internal/uam"
+)
+
+// Table1 reproduces the SBA-100 cost breakup (paper Table 1): the
+// trap-level one-way time, the AAL5 send/receive software overheads (with
+// their CRC shares), the summed one-way time — plus the measured
+// round-trip and 1 KB streaming bandwidth the breakdown predicts.
+func Table1() *stats.Table {
+	p := nic.SBA100Params()
+	rtt := RawRTT(p, 32, 50)
+	bw := RawBandwidth(p, 1024, 300)
+
+	t := stats.NewTable("Table 1: SBA-100 cost breakup for a single-cell round-trip (AAL5)")
+	t.Header("Operation", "Time (µs)")
+	oneWayWire := stats.US(rtt)/2 - stats.US(p.TxPerCell) - stats.US(p.RxPerCell)
+	t.Row("1-way send and rcv across switch (at trap level)", fmt.Sprintf("%.0f", oneWayWire))
+	t.Row("Send overhead (AAL5)", fmt.Sprintf("%.0f  (%.0f%% CRC)", stats.US(p.TxPerCell), nic.SBA100CRCShareTx*100))
+	t.Row("Receive overhead (AAL5)", fmt.Sprintf("%.0f  (%.0f%% CRC)", stats.US(p.RxPerCell), nic.SBA100CRCShareRx*100))
+	t.Row("Total (one-way)", fmt.Sprintf("%.0f", stats.US(rtt)/2))
+	t.Row("Measured round-trip", fmt.Sprintf("%.1f", stats.US(rtt)))
+	t.Row("Measured bandwidth @1KB (MB/s)", fmt.Sprintf("%.2f", bw.MBps()))
+	return t
+}
+
+// Table2 reproduces the machine comparison (paper Table 2): CPU speed,
+// per-message overhead, round-trip latency and network bandwidth for the
+// CM-5, the Meiko CS-2 and the U-Net ATM cluster — parameters for the
+// models, measurements for all three.
+func Table2(rounds int) *stats.Table {
+	t := stats.NewTable("Table 2: CM-5, Meiko CS-2 and U-Net ATM cluster characteristics")
+	t.Header("Machine", "CPU (rel. 60MHz SS)", "msg overhead (µs)", "round-trip (µs)", "net bandwidth (MB/s)")
+
+	type row struct {
+		kind     MachineKind
+		cpu      float64
+		overhead float64
+	}
+	cm5, meiko := machine.CM5Params(), machine.MeikoParams()
+	rows := []row{
+		{MachineCM5, cm5.CPU, stats.US(cm5.OSend)},
+		{MachineMeiko, meiko.CPU, stats.US(meiko.OSend)},
+		{MachineUNetATM, 0.92, 6},
+	}
+	for _, r := range rows {
+		rtt := SplitCRPCRTT(r.kind, rounds)
+		bw := SplitCBulkBandwidth(r.kind, 16384, 60)
+		t.Row(r.kind.String(),
+			fmt.Sprintf("%.2f", r.cpu),
+			fmt.Sprintf("%.0f", r.overhead),
+			fmt.Sprintf("%.0f", stats.US(rtt)),
+			fmt.Sprintf("%.1f", bw))
+	}
+	return t
+}
+
+// Table3 reproduces the protocol summary (paper Table 3): round-trip
+// latency for small messages and bandwidth with 4 KB packets for every
+// layer built on U-Net.
+func Table3(rounds, streamCount int) *stats.Table {
+	t := stats.NewTable("Table 3: U-Net latency and bandwidth summary")
+	t.Header("Protocol", "Round-trip latency (µs)", "Bandwidth 4K packets (Mbit/s)")
+
+	add := func(name string, rtt time.Duration, mbps float64) {
+		t.Row(name, fmt.Sprintf("%.0f", stats.US(rtt)), fmt.Sprintf("%.0f", mbps*8))
+	}
+
+	rawRTT := RawRTT(nic.SBA200Params(), 32, rounds)
+	rawBW := RawBandwidth(nic.SBA200Params(), 4096, streamCount)
+	add("Raw AAL5", rawRTT, rawBW.MBps())
+
+	amRTT := UAMPingPong(uam.Config{}, 16, rounds)
+	amBW := UAMStoreBandwidth(uam.Config{}, 4096, streamCount)
+	add("Active Msgs", amRTT, amBW)
+
+	udpRTT := UDPRTT(PathUNet, 4, rounds)
+	_, udpBW := UDPBandwidth(PathUNet, 4096, streamCount)
+	add("UDP", udpRTT, udpBW)
+
+	tcpRTT := TCPRTT(PathUNet, 4, rounds)
+	tcpBW := TCPBandwidth(PathUNet, 8<<10, 4096, 1<<20)
+	add("TCP", tcpRTT, tcpBW)
+
+	scRTT := SplitCRPCRTT(MachineUNetATM, rounds)
+	scBW := SplitCBulkBandwidth(MachineUNetATM, 4096, streamCount)
+	add("Split-C store", scRTT, scBW)
+	return t
+}

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"unet/internal/atm"
+	"unet/internal/sim"
+)
+
+// Cluster wires n hosts to one switch with full-duplex fiber, the topology
+// of the paper's 8-node ATM cluster (five SPARCstation-20s and three
+// SPARCstation-10s on an ASX-200). NIC models attach afterwards: each host
+// sends on its Uplink and receives through the sink registered with
+// SetHostSink.
+type Cluster struct {
+	Engine    *sim.Engine
+	Switch    *Switch
+	uplinks   []*Link
+	hostSinks []CellSink
+	undeliv   uint64
+}
+
+// NewCluster builds an n-host star around one switch.
+func NewCluster(e *sim.Engine, name string, n int, lp LinkParams, switchLatency time.Duration) *Cluster {
+	c := &Cluster{Engine: e, hostSinks: make([]CellSink, n)}
+	sinks := make([]CellSink, n)
+	for i := 0; i < n; i++ {
+		i := i
+		sinks[i] = SinkFunc(func(cell atm.Cell) {
+			if c.hostSinks[i] == nil {
+				c.undeliv++
+				return
+			}
+			c.hostSinks[i].DeliverCell(cell)
+		})
+	}
+	c.Switch = NewSwitch(e, name+".sw", n, switchLatency, lp, sinks)
+	for i := 0; i < n; i++ {
+		c.uplinks = append(c.uplinks, NewLink(e, fmt.Sprintf("%s.up%d", name, i), lp, c.Switch.PortSink(i)))
+	}
+	return c
+}
+
+// Size returns the number of host ports.
+func (c *Cluster) Size() int { return len(c.uplinks) }
+
+// Uplink returns host's transmit link into the switch.
+func (c *Cluster) Uplink(host int) *Link { return c.uplinks[host] }
+
+// Downlink returns the switch output link toward host (for loss injection).
+func (c *Cluster) Downlink(host int) *Link { return c.Switch.OutputLink(host) }
+
+// SetHostSink registers the receive sink (a NIC input FIFO) for host.
+func (c *Cluster) SetHostSink(host int, s CellSink) { c.hostSinks[host] = s }
+
+// Route programs the switch to deliver vci, arriving from host `from`, to
+// host `to`. Per-input-port routes extend protection across the network
+// (§3.2).
+func (c *Cluster) Route(from int, vci atm.VCI, to int) error {
+	return c.Switch.Route(from, vci, to)
+}
+
+// UndeliveredCells counts cells that reached a port with no attached NIC.
+func (c *Cluster) UndeliveredCells() uint64 { return c.undeliv }

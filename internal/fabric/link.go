@@ -1,0 +1,140 @@
+// Package fabric models the network substrate of the paper's testbed: the
+// 140 Mbit/s TAXI fiber links and the Fore ASX-200 ATM switch that connect
+// the cluster's workstations. Links serialize cells at line rate (which is
+// what makes the fiber saturate, Figure 4) and can inject cell loss; the
+// switch forwards by VCI with a fixed cut-through latency and per-output
+// queueing.
+package fabric
+
+import (
+	"time"
+
+	"unet/internal/atm"
+	"unet/internal/sim"
+)
+
+// DefaultCellTime is the per-cell serialization time of the 140 Mbit/s TAXI
+// fiber. Calibration: the paper quotes a 15.2 MB/s peak AAL5 payload
+// bandwidth (§4.2.1), i.e. 48 bytes of payload every ~3.16 µs.
+const DefaultCellTime = 3158 * time.Nanosecond
+
+// DefaultPropagation is the one-way fiber propagation delay for a
+// machine-room scale link (tens of meters).
+const DefaultPropagation = 200 * time.Nanosecond
+
+// CellSink receives cells off a link. NIC input FIFOs and switch ports
+// implement it. Delivery happens in engine-callback context.
+type CellSink interface {
+	DeliverCell(c atm.Cell)
+}
+
+// SinkFunc adapts a function to the CellSink interface.
+type SinkFunc func(c atm.Cell)
+
+// DeliverCell calls f(c).
+func (f SinkFunc) DeliverCell(c atm.Cell) { f(c) }
+
+// LinkParams configures a link's timing.
+type LinkParams struct {
+	// CellTime is the serialization time of one 53-byte cell.
+	CellTime time.Duration
+	// Propagation is the one-way flight time.
+	Propagation time.Duration
+}
+
+// DefaultLinkParams returns 140 Mbit/s TAXI fiber timing.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{CellTime: DefaultCellTime, Propagation: DefaultPropagation}
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	CellsSent uint64
+	CellsLost uint64
+}
+
+// Link is a unidirectional serializing link: cells handed to Send depart in
+// order at line rate and are delivered to the sink one propagation delay
+// after their last bit leaves. The transmit queue is unbounded — the sender
+// (a NIC model) is responsible for pacing itself via Backlog, mirroring a
+// NIC output FIFO of finite depth.
+type Link struct {
+	e        *sim.Engine
+	name     string
+	p        LinkParams
+	sink     CellSink
+	nextFree time.Duration
+	lossFn   func(atm.Cell) bool
+	stats    LinkStats
+}
+
+// NewLink creates a link delivering into sink.
+func NewLink(e *sim.Engine, name string, p LinkParams, sink CellSink) *Link {
+	if p.CellTime <= 0 {
+		p.CellTime = DefaultCellTime
+	}
+	return &Link{e: e, name: name, p: p, sink: sink}
+}
+
+// Params returns the link's timing parameters.
+func (l *Link) Params() LinkParams { return l.p }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetLossFunc installs a per-cell drop predicate (nil disables loss).
+// Dropped cells consume wire time but never reach the sink, like cells
+// discarded by a congested switch or a marginal fiber.
+func (l *Link) SetLossFunc(fn func(atm.Cell) bool) { l.lossFn = fn }
+
+// SetLossRate makes the link drop cells independently with probability
+// rate, using the engine's deterministic randomness.
+func (l *Link) SetLossRate(rate float64) {
+	if rate <= 0 {
+		l.lossFn = nil
+		return
+	}
+	l.lossFn = func(atm.Cell) bool { return l.e.Rand().Float64() < rate }
+}
+
+// Send enqueues c for transmission and returns the virtual time at which
+// its last bit leaves the transmitter. Delivery to the sink is scheduled
+// automatically.
+func (l *Link) Send(c atm.Cell) time.Duration {
+	start := l.e.Now()
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	depart := start + l.p.CellTime
+	l.nextFree = depart
+	l.stats.CellsSent++
+	if l.lossFn != nil && l.lossFn(c) {
+		l.stats.CellsLost++
+		return depart
+	}
+	l.e.At(depart+l.p.Propagation, func() { l.sink.DeliverCell(c) })
+	return depart
+}
+
+// Backlog returns how long the transmitter is already committed beyond the
+// current instant — the serialization debt of queued cells. NIC models use
+// it to stall when their shallow output FIFO would be full.
+func (l *Link) Backlog() time.Duration {
+	if l.nextFree <= l.e.Now() {
+		return 0
+	}
+	return l.nextFree - l.e.Now()
+}
+
+// WaitReady blocks the process until the transmit backlog is at most
+// maxCells cells' worth of time, modeling a bounded output FIFO.
+func (l *Link) WaitReady(p *sim.Proc, maxCells int) {
+	limit := time.Duration(maxCells) * l.p.CellTime
+	for {
+		b := l.Backlog()
+		if b <= limit {
+			return
+		}
+		p.Sleep(b - limit)
+	}
+}

@@ -1,0 +1,90 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"unet/internal/atm"
+	"unet/internal/sim"
+)
+
+// DefaultSwitchLatency is the ASX-200 cut-through forwarding latency per
+// cell, calibrated so that the SBA-100 trap-level one-way time across the
+// switch lands at the paper's 21 µs (Table 1) together with the trap costs.
+const DefaultSwitchLatency = 2 * time.Microsecond
+
+// Switch is a VCI-routing output-queued ATM switch. Each output port is a
+// Link to the attached host; contention for an output port is resolved by
+// that link's serialization. Cells on unrouted VCIs are counted and
+// dropped, as a real switch would discard cells on unconfigured channels.
+//
+// Routes are keyed by (input port, VCI), as in a real ATM switch: a VCI is
+// only valid on the input port it was provisioned for. This is what lets
+// carefully controlled route set-up extend U-Net's protection across the
+// network (§3.2) — a host cannot inject cells on another pair's channel,
+// because its input port has no route for that VCI.
+type Switch struct {
+	e       *sim.Engine
+	name    string
+	latency time.Duration
+	routes  map[routeKey]int
+	out     []*Link
+	unknown uint64
+}
+
+type routeKey struct {
+	in  int
+	vci atm.VCI
+}
+
+// NewSwitch creates a switch with nports output ports, each serialized by a
+// link with params lp delivering into the corresponding sink.
+func NewSwitch(e *sim.Engine, name string, nports int, latency time.Duration, lp LinkParams, sinks []CellSink) *Switch {
+	if len(sinks) != nports {
+		panic(fmt.Sprintf("fabric: %d sinks for %d ports", len(sinks), nports))
+	}
+	s := &Switch{e: e, name: name, latency: latency, routes: make(map[routeKey]int)}
+	for i := 0; i < nports; i++ {
+		s.out = append(s.out, NewLink(e, fmt.Sprintf("%s.port%d", name, i), lp, sinks[i]))
+	}
+	return s
+}
+
+// Route installs (or replaces) the output port for a VCI arriving on input
+// port in. In the paper the collection of operating systems programs switch
+// paths during channel set-up (§3.2); the unet kernel agent calls this.
+func (s *Switch) Route(in int, vci atm.VCI, port int) error {
+	if port < 0 || port >= len(s.out) {
+		return fmt.Errorf("fabric: route %d → invalid port %d", vci, port)
+	}
+	if in < 0 || in >= len(s.out) {
+		return fmt.Errorf("fabric: route %d from invalid input port %d", vci, in)
+	}
+	s.routes[routeKey{in: in, vci: vci}] = port
+	return nil
+}
+
+// Unroute removes a VCI route (channel tear-down).
+func (s *Switch) Unroute(in int, vci atm.VCI) { delete(s.routes, routeKey{in: in, vci: vci}) }
+
+// UnknownVCICells reports cells dropped for lack of a route.
+func (s *Switch) UnknownVCICells() uint64 { return s.unknown }
+
+// OutputLink exposes a port's output link, e.g. for loss injection.
+func (s *Switch) OutputLink(port int) *Link { return s.out[port] }
+
+// PortSink returns the CellSink for input port in: uplinks must deliver
+// through their port's sink so the switch can enforce per-input-port
+// routes.
+func (s *Switch) PortSink(in int) CellSink {
+	return SinkFunc(func(c atm.Cell) { s.deliver(in, c) })
+}
+
+func (s *Switch) deliver(in int, c atm.Cell) {
+	port, ok := s.routes[routeKey{in: in, vci: c.VCI}]
+	if !ok {
+		s.unknown++
+		return
+	}
+	s.e.After(s.latency, func() { s.out[port].Send(c) })
+}

@@ -1,0 +1,188 @@
+package ip_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"unet/internal/ip"
+	"unet/internal/ip/tcp"
+	"unet/internal/ip/udp"
+	"unet/internal/sim"
+	"unet/internal/testbed"
+)
+
+func muxPair(t *testing.T) (*testbed.Testbed, *ip.FlowMux, *ip.FlowMux) {
+	t.Helper()
+	tb := testbed.New(testbed.Config{Hosts: 2})
+	t.Cleanup(tb.Close)
+	ca, cb, err := tb.NewIPConduitPair(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, ip.NewFlowMux(ca), ip.NewFlowMux(cb)
+}
+
+func TestFlowLabelRoundTrip(t *testing.T) {
+	pkt := make([]byte, ip.HeaderSize+10)
+	ip.Header{Proto: ip.ProtoUDP, Length: len(pkt), Src: 1, Dst: 2}.Encode(pkt)
+	ip.SetFlowLabel(pkt, 0xABCDEF)
+	if got := ip.FlowLabel(pkt); got != 0xABCDEF {
+		t.Fatalf("FlowLabel = %#x, want 0xABCDEF", got)
+	}
+	// The label must not corrupt the fields the stacks parse.
+	hdr, err := ip.ParseHeader(pkt)
+	if err != nil || hdr.Src != 1 || hdr.Dst != 2 || hdr.Proto != ip.ProtoUDP {
+		t.Fatalf("header corrupted by flow label: %+v, %v", hdr, err)
+	}
+}
+
+func TestFlowDemultiplexing(t *testing.T) {
+	tb, ma, mb := muxPair(t)
+	fa1, _ := ma.Open(1)
+	fa2, _ := ma.Open(2)
+	fb1, _ := mb.Open(1)
+	fb2, _ := mb.Open(2)
+
+	// Two independent UDP stacks share the single U-Net channel.
+	sa1 := udp.NewStack(fa1, udp.DefaultParams())
+	sa2 := udp.NewStack(fa2, udp.DefaultParams())
+	sb1 := udp.NewStack(fb1, udp.DefaultParams())
+	sb2 := udp.NewStack(fb2, udp.DefaultParams())
+	ska1, _ := sa1.Bind(10, 0)
+	ska2, _ := sa2.Bind(10, 0)
+	skb1, _ := sb1.Bind(20, 0)
+	skb2, _ := sb2.Bind(20, 0)
+
+	var got1, got2 []byte
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		got1, _, _ = skb1.RecvFrom(p, 10*time.Millisecond)
+		got2, _, _ = skb2.RecvFrom(p, 10*time.Millisecond)
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		ska1.SendTo(p, 20, []byte("flow one"))
+		ska2.SendTo(p, 20, []byte("flow two"))
+	})
+	tb.Eng.Run()
+	if string(got1) != "flow one" || string(got2) != "flow two" {
+		t.Fatalf("demux failed: %q / %q", got1, got2)
+	}
+	if st := mb.Stats(); st.Dispatched != 2 || st.Fallback != 0 {
+		t.Fatalf("mux stats %+v", st)
+	}
+}
+
+func TestUnresolvedFlowFallsBackToKernel(t *testing.T) {
+	// §7.1: packets whose tag does not resolve go to the kernel endpoint.
+	tb, ma, mb := muxPair(t)
+	fa9, _ := ma.Open(9) // sender side only; receiver never opens flow 9
+	fb1, _ := mb.Open(1)
+	var kernelGot []byte
+	mb.SetFallback(func(p *sim.Proc, pkt []byte) {
+		kernelGot = append([]byte(nil), pkt...)
+	})
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		fb1.Recv(p, 5*time.Millisecond) // pumps the shared channel
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		pkt := make([]byte, ip.HeaderSize+4)
+		ip.Header{Proto: ip.ProtoUDP, Length: len(pkt), Src: fa9.LocalAddr(), Dst: fa9.RemoteAddr()}.Encode(pkt)
+		copy(pkt[ip.HeaderSize:], "orph")
+		if err := fa9.Send(p, pkt); err != nil {
+			t.Error(err)
+		}
+	})
+	tb.Eng.Run()
+	if kernelGot == nil {
+		t.Fatal("unresolved flow not handed to the kernel fallback")
+	}
+	if ip.FlowLabel(kernelGot) != 9 {
+		t.Fatalf("fallback packet has flow %d, want 9", ip.FlowLabel(kernelGot))
+	}
+	if st := mb.Stats(); st.Fallback != 1 {
+		t.Fatalf("mux stats %+v, want 1 fallback", st)
+	}
+}
+
+func TestTwoTCPConnectionsShareOneChannel(t *testing.T) {
+	// The pay-off of flow demultiplexing: multiple TCP connections over a
+	// single pair of U-Net endpoints, without per-connection channels.
+	tb, ma, mb := muxPair(t)
+	fa1, _ := ma.Open(1)
+	fa2, _ := ma.Open(2)
+	fb1, _ := mb.Open(1)
+	fb2, _ := mb.Open(2)
+
+	a1 := tcp.New(fa1, 1001, 81, tcp.DefaultParams())
+	a2 := tcp.New(fa2, 1002, 82, tcp.DefaultParams())
+	b1 := tcp.New(fb1, 81, 1001, tcp.DefaultParams())
+	b2 := tcp.New(fb2, 82, 1002, tcp.DefaultParams())
+
+	mk := func(tag byte, n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = tag ^ byte(i)
+		}
+		return out
+	}
+	src1, src2 := mk(0x11, 40<<10), mk(0x22, 40<<10)
+	var got1, got2 []byte
+
+	serve := func(conn *tcp.Conn, into *[]byte, total int) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			if err := conn.Accept(p, time.Second); err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, 32<<10)
+			deadline := p.Now() + 10*time.Second
+			for len(*into) < total && p.Now() < deadline {
+				n, err := conn.Read(p, buf, 100*time.Millisecond)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				*into = append(*into, buf[:n]...)
+			}
+			for k := 0; k < 50; k++ {
+				conn.Poll(p)
+				p.Sleep(time.Millisecond)
+			}
+		}
+	}
+	tb.Hosts[1].Spawn("srv1", serve(b1, &got1, len(src1)))
+	tb.Hosts[1].Spawn("srv2", serve(b2, &got2, len(src2)))
+
+	send := func(conn *tcp.Conn, data []byte) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			if err := conn.Dial(p, time.Second); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := conn.Write(p, data); err != nil {
+				t.Error(err)
+			}
+			conn.Flush(p, 10*time.Second)
+		}
+	}
+	tb.Hosts[0].Spawn("cli1", send(a1, src1))
+	tb.Hosts[0].Spawn("cli2", send(a2, src2))
+
+	tb.Eng.Run()
+	if !bytes.Equal(got1, src1) {
+		t.Fatalf("connection 1 corrupted (%d bytes)", len(got1))
+	}
+	if !bytes.Equal(got2, src2) {
+		t.Fatalf("connection 2 corrupted (%d bytes)", len(got2))
+	}
+}
+
+func TestDuplicateFlowRejected(t *testing.T) {
+	_, ma, _ := muxPair(t)
+	if _, err := ma.Open(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Open(5); err == nil {
+		t.Fatal("duplicate flow accepted")
+	}
+}

@@ -1,0 +1,277 @@
+package udp_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"unet/internal/ip"
+	"unet/internal/ip/udp"
+	"unet/internal/sim"
+	"unet/internal/testbed"
+)
+
+func pair(t *testing.T) (*testbed.Testbed, *udp.Stack, *udp.Stack) {
+	t.Helper()
+	tb := testbed.New(testbed.Config{Hosts: 2})
+	t.Cleanup(tb.Close)
+	ca, cb, err := tb.NewIPConduitPair(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, udp.NewStack(ca, udp.DefaultParams()), udp.NewStack(cb, udp.DefaultParams())
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	tb, sa, sb := pair(t)
+	ska, _ := sa.Bind(1000, 0)
+	skb, _ := sb.Bind(2000, 0)
+	var got []byte
+	var gotSrc uint16
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		data, src, ok := skb.RecvFrom(p, 10*time.Millisecond)
+		if !ok {
+			t.Error("no datagram received")
+			return
+		}
+		got, gotSrc = data, src
+		skb.SendTo(p, src, []byte("world"))
+	})
+	var reply []byte
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		if err := ska.SendTo(p, 2000, []byte("hello")); err != nil {
+			t.Error(err)
+		}
+		data, _, ok := ska.RecvFrom(p, 10*time.Millisecond)
+		if ok {
+			reply = data
+		}
+	})
+	tb.Eng.Run()
+	if !bytes.Equal(got, []byte("hello")) || gotSrc != 1000 {
+		t.Fatalf("server got %q from %d", got, gotSrc)
+	}
+	if !bytes.Equal(reply, []byte("world")) {
+		t.Fatalf("client got %q", reply)
+	}
+}
+
+func TestPortDemux(t *testing.T) {
+	tb, sa, sb := pair(t)
+	ska, _ := sa.Bind(1, 0)
+	sk1, _ := sb.Bind(10, 0)
+	sk2, _ := sb.Bind(20, 0)
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		ska.SendTo(p, 10, []byte("a"))
+		ska.SendTo(p, 10, []byte("c"))
+		ska.SendTo(p, 20, []byte("b"))
+	})
+	var got1, got2 []string
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if d, _, ok := sk1.RecvFrom(p, time.Millisecond); ok {
+				got1 = append(got1, string(d))
+				continue
+			}
+			if d, _, ok := sk2.RecvFrom(p, time.Millisecond); ok {
+				got2 = append(got2, string(d))
+			}
+		}
+	})
+	tb.Eng.Run()
+	if len(got1) != 2 || got1[0] != "a" || got1[1] != "c" {
+		t.Fatalf("socket 10 got %v", got1)
+	}
+	if len(got2) != 1 || got2[0] != "b" {
+		t.Fatalf("socket 20 got %v", got2)
+	}
+	// Back-to-back datagrams to the same port hit the one-entry pcb cache;
+	// the port change misses (§7.6).
+	if st := sb.Stats(); st.PCBHits != 1 || st.PCBMisses != 2 {
+		t.Fatalf("pcb cache stats = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+func TestUnboundPortDropped(t *testing.T) {
+	tb, sa, sb := pair(t)
+	ska, _ := sa.Bind(1, 0)
+	skb, _ := sb.Bind(2, 0)
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		ska.SendTo(p, 999, []byte("void"))
+		ska.SendTo(p, 2, []byte("real"))
+	})
+	var got []byte
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		got, _, _ = skb.RecvFrom(p, 10*time.Millisecond)
+	})
+	tb.Eng.Run()
+	if !bytes.Equal(got, []byte("real")) {
+		t.Fatalf("got %q", got)
+	}
+	if sb.Stats().NoPort != 1 {
+		t.Fatalf("NoPort = %d, want 1", sb.Stats().NoPort)
+	}
+}
+
+func TestAppBufferOverflowDrops(t *testing.T) {
+	// Receive buffering is bounded only by the application's own buffer
+	// (§7.3). A socket the application neglects overflows while a polled
+	// one keeps flowing: flood port 2 (tiny buffer, never read) while the
+	// application reads port 3, whose RecvFrom pumps the shared conduit.
+	tb, sa, sb := pair(t)
+	ska, _ := sa.Bind(1, 0)
+	flooded, _ := sb.Bind(2, 3000) // room for ~3 × 1000-byte datagrams
+	polled, _ := sb.Bind(3, 0)
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			ska.SendTo(p, 2, make([]byte, 1000))
+		}
+		ska.SendTo(p, 3, []byte("done"))
+	})
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		if _, _, ok := polled.RecvFrom(p, 10*time.Millisecond); !ok {
+			t.Error("polled socket never received")
+		}
+	})
+	tb.Eng.Run()
+	if flooded.Drops() == 0 {
+		t.Fatal("no drops despite tiny application buffer")
+	}
+	if flooded.Pending()+int(flooded.Drops()) != 8 {
+		t.Fatalf("pending %d + dropped %d != 8", flooded.Pending(), flooded.Drops())
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	// Corrupt a UDP payload below the AAL5 layer... not possible without
+	// also failing the AAL5 CRC, so corrupt at the conduit level: verify
+	// the checksum math directly instead.
+	pkt := []byte{1, 2, 3, 4, 5}
+	sum := ip.InternetChecksum(pkt)
+	pkt[2] ^= 0x40
+	if ip.InternetChecksum(pkt) == sum {
+		t.Fatal("checksum unchanged after corruption")
+	}
+}
+
+func TestOversizedDatagramRejected(t *testing.T) {
+	tb, sa, _ := pair(t)
+	defer tb.Eng.Shutdown()
+	ska, _ := sa.Bind(1, 0)
+	if err := ska.SendTo(nil, 2, make([]byte, ip.MTU)); err != udp.ErrTooLong {
+		t.Fatalf("err = %v, want ErrTooLong (headers leave no room)", err)
+	}
+}
+
+func TestChecksumDisabledSkipsCost(t *testing.T) {
+	// §7.6: checksumming can be switched off. Compare virtual time of two
+	// sends differing only in the checksum flag.
+	run := func(checksum bool) time.Duration {
+		tb := testbed.New(testbed.Config{Hosts: 2})
+		defer tb.Close()
+		ca, cb, err := tb.NewIPConduitPair(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := udp.DefaultParams()
+		params.Checksum = checksum
+		sa, sb := udp.NewStack(ca, params), udp.NewStack(cb, params)
+		ska, _ := sa.Bind(1, 0)
+		skb, _ := sb.Bind(2, 0)
+		var done time.Duration
+		tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+			skb.RecvFrom(p, 10*time.Millisecond)
+			done = p.Now()
+		})
+		tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+			ska.SendTo(p, 2, make([]byte, 4000))
+		})
+		tb.Eng.Run()
+		return done
+	}
+	with, without := run(true), run(false)
+	saved := with - without
+	// 1 µs per 100 bytes on ~4 KB at each end ≈ 80 µs.
+	if saved < 50*time.Microsecond || saved > 120*time.Microsecond {
+		t.Fatalf("checksum elision saved %v, want ~80µs", saved)
+	}
+}
+
+func TestUNetUDPSmallMessageRTT(t *testing.T) {
+	// Table 3: UDP round-trip latency 138 µs for small messages.
+	tb, sa, sb := pair(t)
+	ska, _ := sa.Bind(1, 0)
+	skb, _ := sb.Bind(2, 0)
+	const rounds = 40
+	var rtt time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for i := 0; i < rounds+1; i++ {
+			data, src, ok := skb.RecvFrom(p, 10*time.Millisecond)
+			if !ok {
+				t.Error("echo server timed out")
+				return
+			}
+			skb.SendTo(p, src, data)
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		var start time.Duration
+		for i := 0; i < rounds+1; i++ {
+			if i == 1 {
+				start = p.Now()
+			}
+			ska.SendTo(p, 2, []byte{1, 2, 3, 4})
+			if _, _, ok := ska.RecvFrom(p, 10*time.Millisecond); !ok {
+				t.Error("client timed out")
+				return
+			}
+		}
+		rtt = (p.Now() - start) / rounds
+	})
+	tb.Eng.Run()
+	us := float64(rtt) / float64(time.Microsecond)
+	if us < 138*0.95 || us > 138*1.05 {
+		t.Fatalf("UDP small-message RTT = %.1f µs, want 138 ± 5%%", us)
+	}
+}
+
+func TestUNetUDPBandwidthNearAAL5Limit(t *testing.T) {
+	// Figure 7: U-Net UDP is lossless and tracks the raw U-Net limit.
+	tb, sa, sb := pair(t)
+	ska, _ := sa.Bind(1, 0)
+	skb, _ := sb.Bind(2, 0)
+	const count, size = 200, 4000
+	var start, end time.Duration
+	bytes := 0
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			d, _, ok := skb.RecvFrom(p, 100*time.Millisecond)
+			if !ok {
+				return
+			}
+			if i == 0 {
+				start = p.Now()
+			} else {
+				bytes += len(d)
+			}
+			end = p.Now()
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < count; i++ {
+			if err := ska.SendTo(p, 2, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	tb.Eng.Run()
+	bw := float64(bytes) / (end - start).Seconds() / 1e6
+	if bw < 13.5 || bw > 15.5 {
+		t.Fatalf("U-Net UDP bandwidth = %.2f MB/s, want ~14-15", bw)
+	}
+	if sb.Stats().Received != count {
+		t.Fatalf("received %d of %d — U-Net UDP must be lossless here", sb.Stats().Received, count)
+	}
+}

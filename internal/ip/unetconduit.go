@@ -1,0 +1,136 @@
+package ip
+
+import (
+	"time"
+
+	"unet/internal/sim"
+	"unet/internal/unet"
+)
+
+// UNetConduit carries IP datagrams over one U-Net channel (§7.1): packets
+// are staged in the communication segment on the way out and gathered from
+// receive buffers on the way in, exactly the "one copy" base-level path.
+// Following the prototype, packets always use buffer descriptors (the IP
+// module does not exploit the single-cell inline optimization), which is
+// why the U-Net UDP round trip starts at ~138 µs rather than 65 µs
+// (Figure 9, Table 3).
+type UNetConduit struct {
+	ep    *unet.Endpoint
+	ch    unet.ChannelID
+	local uint32
+	rem   uint32
+
+	stage     int // staging ring base
+	stageSize int
+	stageNext int
+
+	closed bool
+}
+
+// stageRing sizes the send staging region: enough slots that a buffer is
+// never reused while its descriptor may still be queued.
+const stageSlots = 72
+
+// NewUNetConduit builds a conduit over an existing endpoint/channel pair.
+// stageBase is the segment offset where the conduit may stage outgoing
+// packets (it uses stageSlots × MTU bytes).
+func NewUNetConduit(ep *unet.Endpoint, ch unet.ChannelID, local, remote uint32, stageBase int) *UNetConduit {
+	return &UNetConduit{
+		ep:        ep,
+		ch:        ch,
+		local:     local,
+		rem:       remote,
+		stage:     stageBase,
+		stageSize: stageSlots * MTU,
+	}
+}
+
+// LocalAddr returns the local host address.
+func (c *UNetConduit) LocalAddr() uint32 { return c.local }
+
+// RemoteAddr returns the peer host address.
+func (c *UNetConduit) RemoteAddr() uint32 { return c.rem }
+
+// MTU returns the IP-over-U-Net MTU.
+func (c *UNetConduit) MTU() int { return MTU }
+
+// Send stages pkt in the communication segment and queues a descriptor.
+func (c *UNetConduit) Send(p *sim.Proc, pkt []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if len(pkt) > MTU {
+		return ErrTooLong
+	}
+	if c.stageNext+len(pkt) > c.stageSize {
+		c.stageNext = 0
+	}
+	off := c.stage + c.stageNext
+	c.stageNext += len(pkt)
+	if err := c.ep.Compose(p, off, pkt); err != nil {
+		return err
+	}
+	return c.ep.SendBlock(p, unet.SendDesc{Channel: c.ch, Offset: off, Length: len(pkt)})
+}
+
+// gather copies a received datagram out of U-Net buffers and recycles
+// them. The copy is charged; true zero-copy consumers would read the
+// buffers in place (§3.4), but the socket API semantics the transports
+// provide require the data to outlive the buffer.
+func (c *UNetConduit) gather(p *sim.Proc, rd unet.RecvDesc) []byte {
+	if rd.Inline != nil {
+		out := make([]byte, len(rd.Inline))
+		charge(p, c.ep.Host().Params.CopyCost(len(rd.Inline)))
+		copy(out, rd.Inline)
+		return out
+	}
+	out := make([]byte, rd.Length)
+	n := 0
+	bufSize := c.ep.Config().RecvBufSize
+	for _, off := range rd.Buffers {
+		chunk := rd.Length - n
+		if chunk > bufSize {
+			chunk = bufSize
+		}
+		if err := c.ep.ReadBuf(p, off, out[n:n+chunk]); err != nil {
+			panic(err)
+		}
+		n += chunk
+		if err := c.ep.PushFree(p, off); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Recv blocks up to timeout for the next datagram; a negative timeout
+// blocks until one arrives.
+func (c *UNetConduit) Recv(p *sim.Proc, timeout time.Duration) ([]byte, bool) {
+	if timeout < 0 {
+		return c.gather(p, c.ep.Recv(p)), true
+	}
+	rd, ok := c.ep.RecvTimeout(p, timeout)
+	if !ok {
+		return nil, false
+	}
+	return c.gather(p, rd), true
+}
+
+// TryRecv polls the receive queue once.
+func (c *UNetConduit) TryRecv(p *sim.Proc) ([]byte, bool) {
+	rd, ok := c.ep.PollRecv(p)
+	if !ok {
+		return nil, false
+	}
+	return c.gather(p, rd), true
+}
+
+func charge(p *sim.Proc, d time.Duration) {
+	if p != nil && d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// Endpoint exposes the underlying U-Net endpoint (for statistics and
+// diagnostics).
+func (c *UNetConduit) Endpoint() *unet.Endpoint { return c.ep }

@@ -1,0 +1,113 @@
+package kernelpath
+
+import (
+	"time"
+
+	"unet/internal/sim"
+)
+
+// Ethernet models the 10 Mbit/s shared segment the paper's Figure 6
+// compares the ATM against: frames serialize on one medium at 0.8 µs per
+// byte (plus framing overhead), and the transmitting driver busy-waits
+// for transmit completion, as the LANCE-era adapters did.
+type Ethernet struct {
+	e *sim.Engine
+	// PerByte is the serialization cost (10 Mbit/s ≈ 0.8 µs/byte).
+	PerByte time.Duration
+	// FrameOverhead is preamble + header + CRC + gap, charged per frame.
+	FrameOverhead int
+	// Latency is propagation plus adapter latency.
+	Latency time.Duration
+
+	nextFree time.Duration
+	ports    []*EthPort
+}
+
+// EthMTU is the Ethernet maximum frame payload.
+const EthMTU = 1500
+
+// NewEthernet creates a shared segment.
+func NewEthernet(e *sim.Engine) *Ethernet {
+	return &Ethernet{
+		e:             e,
+		PerByte:       800 * time.Nanosecond,
+		FrameOverhead: 38,
+		Latency:       20 * time.Microsecond,
+	}
+}
+
+// EthPort is one station's attachment. It implements ip.Conduit as the
+// "wire" layer beneath the kernel Conduit. Ports are point-to-point
+// addressed: a frame is delivered to the port whose address matches dst.
+type EthPort struct {
+	net    *Ethernet
+	local  uint32
+	remote uint32
+	rx     *sim.FIFO[[]byte]
+}
+
+// NewPort attaches a station with the given local/remote addresses.
+func (en *Ethernet) NewPort(local, remote uint32) *EthPort {
+	p := &EthPort{net: en, local: local, remote: remote, rx: sim.NewFIFO[[]byte](0)}
+	en.ports = append(en.ports, p)
+	return p
+}
+
+// LocalAddr returns the port's station address.
+func (pt *EthPort) LocalAddr() uint32 { return pt.local }
+
+// RemoteAddr returns the peer station address.
+func (pt *EthPort) RemoteAddr() uint32 { return pt.remote }
+
+// MTU returns the Ethernet frame payload limit.
+func (pt *EthPort) MTU() int { return EthMTU }
+
+// Send serializes the frame on the shared medium; the caller (the driver
+// process) is busy until transmission completes.
+func (pt *EthPort) Send(p *sim.Proc, pkt []byte) error {
+	en := pt.net
+	wire := time.Duration(len(pkt)+en.FrameOverhead) * en.PerByte
+	start := p.Now()
+	if en.nextFree > start {
+		start = en.nextFree
+	}
+	depart := start + wire
+	en.nextFree = depart
+	buf := make([]byte, len(pkt))
+	copy(buf, pkt)
+	dst := pt.remote
+	en.e.At(depart+en.Latency, func() {
+		for _, other := range en.ports {
+			if other.local == dst {
+				other.rx.TryPut(buf)
+				return
+			}
+		}
+	})
+	// Busy-wait for transmit completion (and any deferral on the shared
+	// medium).
+	p.Sleep(depart - p.Now())
+	return nil
+}
+
+// Recv blocks up to timeout for the next frame; a negative timeout blocks
+// until one arrives.
+func (pt *EthPort) Recv(p *sim.Proc, timeout time.Duration) ([]byte, bool) {
+	if timeout < 0 {
+		return pt.rx.Get(p), true
+	}
+	deadline := p.Now() + timeout
+	for pt.rx.Len() == 0 {
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return nil, false
+		}
+		p.WaitTimeout(pt.rx.NotEmpty(), remain)
+	}
+	return pt.rx.Get(p), true
+}
+
+// TryRecv polls without blocking.
+func (pt *EthPort) TryRecv(p *sim.Proc) ([]byte, bool) {
+	return pt.rx.TryGet()
+}

@@ -1,0 +1,388 @@
+// Package nic provides the network-interface models behind U-Net: the Fore
+// SBA-200 running the paper's custom firmware (§4.2.2), the same board
+// running Fore's original firmware (the §4.2.1 baseline), and the simpler
+// programmed-I/O SBA-100 (§4.1).
+//
+// All three share one processing engine, Device: a simulated on-board (or,
+// for the SBA-100, trap-level host) processor that drains endpoint send
+// queues, segments messages into AAL5 cells onto the uplink, reassembles
+// arriving cells, and delivers descriptors into endpoint receive queues.
+// The models differ only in their Params cost tables and fast-path
+// capabilities; every constant is calibrated against a measurement quoted
+// in the paper (see the constructors in params.go).
+package nic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"unet/internal/atm"
+	"unet/internal/fabric"
+	"unet/internal/sim"
+	"unet/internal/unet"
+)
+
+// directHeaderSize prefixes direct-access PDUs with the 64-bit deposit
+// offset (§3.6).
+const directHeaderSize = 8
+
+// Stats counts device-level events.
+type Stats struct {
+	CellsOut     uint64
+	CellsIn      uint64
+	PDUsOut      uint64
+	PDUsIn       uint64
+	InFIFODrops  uint64 // cells lost to input FIFO overflow
+	BadPDUs      uint64 // AAL5 CRC/length failures (lost or corrupt cells)
+	UnknownVCIs  uint64 // cells on unregistered VCIs
+	DirectDenied uint64 // direct-access PDUs to non-direct endpoints
+}
+
+type route struct {
+	ep *unet.Endpoint
+	ch unet.ChannelID
+}
+
+type pduState struct {
+	reasm  atm.Reassembler
+	direct bool
+}
+
+// Device is a NIC model servicing the U-Net endpoints of one host. It
+// implements unet.Device.
+type Device struct {
+	name   string
+	e      *sim.Engine
+	host   *unet.Host
+	params Params
+	uplink *fabric.Link
+
+	in   *sim.FIFO[atm.Cell]
+	work sim.Cond
+
+	eps   []*unet.Endpoint
+	txRR  int
+	vcis  map[atm.VCI]route
+	pdus  map[atm.VCI]*pduState
+	stats Stats
+}
+
+var _ unet.Device = (*Device)(nil)
+
+// New creates a device sending on uplink. Call Start (or use Attach) to
+// run its processor.
+func New(e *sim.Engine, host *unet.Host, params Params, uplink *fabric.Link) *Device {
+	d := &Device{
+		name:   host.Name + "/" + params.Name,
+		e:      e,
+		host:   host,
+		params: params,
+		uplink: uplink,
+		in:     sim.NewFIFO[atm.Cell](params.InFIFODepth),
+		vcis:   make(map[atm.VCI]route),
+		pdus:   make(map[atm.VCI]*pduState),
+	}
+	return d
+}
+
+// Attach wires a device of the given parameters to host and switch port:
+// it creates the device, registers it as the port's cell sink and the
+// host's device, records the host with the manager, and starts the
+// on-board processor.
+func Attach(h *unet.Host, cl *fabric.Cluster, m *unet.Manager, port int, params Params) *Device {
+	d := New(h.Eng, h, params, cl.Uplink(port))
+	cl.SetHostSink(port, d)
+	h.SetDevice(d)
+	if m != nil {
+		m.Register(h, port)
+	}
+	d.Start()
+	return d
+}
+
+// Start spawns the device's processing loop.
+func (d *Device) Start() { d.e.Spawn(d.name, d.run) }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Params returns the device's cost table.
+func (d *Device) Params() Params { return d.params }
+
+// --- unet.Device management interface ---
+
+// AttachEndpoint begins servicing ep.
+func (d *Device) AttachEndpoint(ep *unet.Endpoint) error {
+	if len(d.eps) >= d.params.MaxEndpoints {
+		return fmt.Errorf("nic %s: endpoint table full (%d)", d.name, d.params.MaxEndpoints)
+	}
+	d.eps = append(d.eps, ep)
+	return nil
+}
+
+// DetachEndpoint stops servicing ep and forgets its channels.
+func (d *Device) DetachEndpoint(ep *unet.Endpoint) {
+	for i, e := range d.eps {
+		if e == ep {
+			d.eps = append(d.eps[:i], d.eps[i+1:]...)
+			break
+		}
+	}
+	for v, r := range d.vcis {
+		if r.ep == ep {
+			delete(d.vcis, v)
+			delete(d.pdus, v)
+		}
+	}
+}
+
+// OpenChannel registers the receive tag rx as belonging to (ep, ch).
+func (d *Device) OpenChannel(ep *unet.Endpoint, ch unet.ChannelID, tx, rx atm.VCI) error {
+	if r, busy := d.vcis[rx]; busy && r.ep != ep {
+		return errors.New("nic: VCI already registered to another endpoint")
+	}
+	d.vcis[rx] = route{ep: ep, ch: ch}
+	return nil
+}
+
+// CloseChannel removes the tag registration.
+func (d *Device) CloseChannel(ep *unet.Endpoint, ch unet.ChannelID) {
+	for v, r := range d.vcis {
+		if r.ep == ep && r.ch == ch {
+			delete(d.vcis, v)
+			delete(d.pdus, v)
+		}
+	}
+}
+
+// KickTx wakes the processor: ep's send queue became non-empty.
+func (d *Device) KickTx(ep *unet.Endpoint) { d.work.Signal() }
+
+// SingleCellMax reports the inline-descriptor fast-path limit.
+func (d *Device) SingleCellMax() int { return d.params.SingleCellMax }
+
+// MTU reports the largest message the device segments.
+func (d *Device) MTU() int { return d.params.MTU }
+
+// MaxEndpoints reports the endpoint table size.
+func (d *Device) MaxEndpoints() int { return d.params.MaxEndpoints }
+
+// DeliverCell implements fabric.CellSink: a cell arrived off the fiber
+// into the input FIFO. Overflow drops the cell, as the real FIFO would.
+func (d *Device) DeliverCell(c atm.Cell) {
+	if !d.in.TryPut(c) {
+		d.stats.InFIFODrops++
+		return
+	}
+	d.work.Signal()
+}
+
+// --- processing loop ---
+
+// run is the on-board processor (the i960 in the SBA-200; the trap-level
+// host CPU in the SBA-100): it alternates draining the input FIFO —
+// reception has priority, as in the firmware — with servicing one send
+// descriptor per round from the endpoints, round-robin.
+func (d *Device) run(p *sim.Proc) {
+	for {
+		progress := false
+		for {
+			c, ok := d.in.TryGet()
+			if !ok {
+				break
+			}
+			d.handleCell(p, c)
+			progress = true
+		}
+		if ep := d.nextTxEndpoint(); ep != nil {
+			d.handleTx(p, ep)
+			progress = true
+		}
+		if !progress {
+			p.Wait(&d.work)
+		}
+	}
+}
+
+func (d *Device) nextTxEndpoint() *unet.Endpoint {
+	n := len(d.eps)
+	for i := 0; i < n; i++ {
+		ep := d.eps[(d.txRR+i)%n]
+		if ep.DevSendPending() {
+			d.txRR = (d.txRR + i + 1) % n
+			return ep
+		}
+	}
+	return nil
+}
+
+// handleTx services one send descriptor: the single-cell fast path stores
+// descriptor-resident data straight into a cell (§4.2.2); larger messages
+// are fetched from the communication segment (host-memory DMA, charged in
+// TxFixed/TxPerCell) and segmented. The uplink's bounded output FIFO
+// paces the processor when the fiber backs up.
+func (d *Device) handleTx(p *sim.Proc, ep *unet.Endpoint) {
+	desc, ok := ep.DevPopSend()
+	if !ok {
+		return
+	}
+	tx, _, ok := ep.ChannelVCIs(desc.Channel)
+	if !ok {
+		return // channel closed while queued
+	}
+	d.stats.PDUsOut++
+	if desc.Inline != nil && d.params.SingleCellMax > 0 {
+		p.Sleep(d.params.TxSingleCell)
+		cells := atm.Segment(tx, desc.Inline)
+		d.sendCells(p, cells)
+		return
+	}
+	var data []byte
+	if desc.Inline != nil {
+		data = desc.Inline // fast path absent on this device
+	} else {
+		data = ep.DevReadSegment(desc.Offset, desc.Length)
+	}
+	if desc.Direct {
+		hdr := make([]byte, directHeaderSize, directHeaderSize+len(data))
+		binary.BigEndian.PutUint64(hdr, uint64(desc.DstOffset))
+		data = append(hdr, data...)
+	}
+	p.Sleep(d.params.TxFixed)
+	cells := atm.Segment(tx, data)
+	if desc.Direct {
+		for i := range cells {
+			cells[i].Direct = true
+		}
+	}
+	d.sendCells(p, cells)
+}
+
+func (d *Device) sendCells(p *sim.Proc, cells []atm.Cell) {
+	for _, c := range cells {
+		if d.params.TxPerCell > 0 {
+			p.Sleep(d.params.TxPerCell)
+		}
+		d.uplink.WaitReady(p, d.params.OutFIFOCells)
+		d.uplink.Send(c)
+		d.stats.CellsOut++
+	}
+}
+
+// handleCell processes one arriving cell. Single-cell PDUs take the
+// receive fast path: deposited directly into the next receive-queue entry
+// with no buffer allocation (§4.2.2). Multi-cell PDUs accumulate per VCI
+// and are scattered into free-queue buffers on completion.
+func (d *Device) handleCell(p *sim.Proc, c atm.Cell) {
+	d.stats.CellsIn++
+	r, ok := d.vcis[c.VCI]
+	if !ok {
+		d.stats.UnknownVCIs++
+		return
+	}
+	st := d.pdus[c.VCI]
+	if st == nil {
+		st = &pduState{}
+		d.pdus[c.VCI] = st
+	}
+	fastPath := st.reasm.Pending() == 0 && c.EOP && !c.Direct && d.params.SingleCellMax > 0
+	if fastPath {
+		p.Sleep(d.params.RxSingleCell)
+	} else {
+		p.Sleep(d.params.RxPerCell)
+	}
+	if st.reasm.Pending() == 0 {
+		st.direct = c.Direct
+	}
+	payload, err := st.reasm.Add(c)
+	if err != nil {
+		d.stats.BadPDUs++
+		r.ep.DevDropReassembly()
+		return
+	}
+	if payload == nil {
+		return // mid-PDU
+	}
+	d.stats.PDUsIn++
+	if fastPath && len(payload) <= d.params.SingleCellMax {
+		r.ep.DevDeliver(unet.RecvDesc{Channel: r.ch, Length: len(payload), Inline: payload})
+		return
+	}
+	p.Sleep(d.params.RxFixed)
+	if st.direct {
+		d.deliverDirect(r, payload)
+		return
+	}
+	d.deliverBuffered(r, payload)
+}
+
+// deliverDirect deposits a §3.6 direct-access PDU at the sender-specified
+// segment offset, if the endpoint allows it.
+func (d *Device) deliverDirect(r route, payload []byte) {
+	if len(payload) < directHeaderSize || !r.ep.Config().DirectAccess {
+		d.stats.DirectDenied++
+		r.ep.DevDropNoBuffer()
+		return
+	}
+	off := int(binary.BigEndian.Uint64(payload))
+	data := payload[directHeaderSize:]
+	if off < 0 || off+len(data) > len(r.ep.Segment()) {
+		d.stats.DirectDenied++
+		r.ep.DevDropNoBuffer()
+		return
+	}
+	r.ep.DevWriteSegment(off, data)
+	r.ep.DevDeliver(unet.RecvDesc{
+		Channel: r.ch, Length: len(data), Direct: true, DirectOffset: off,
+	})
+}
+
+// deliverBuffered scatters a PDU into free-queue buffers and pushes the
+// descriptor. Arrivals with no free buffers are dropped (§3.4: the process
+// provides receive buffers explicitly; run out and you lose messages).
+func (d *Device) deliverBuffered(r route, payload []byte) {
+	bufSize := r.ep.Config().RecvBufSize
+	need := (len(payload) + bufSize - 1) / bufSize
+	if need == 0 {
+		need = 1
+	}
+	offs := make([]int, 0, need)
+	for i := 0; i < need; i++ {
+		off, ok := r.ep.DevPopFree()
+		if !ok {
+			// Out of buffers: return what we took and drop the message.
+			for _, o := range offs {
+				r.ep.PushFree(nil, o)
+			}
+			r.ep.DevDropNoBuffer()
+			return
+		}
+		offs = append(offs, off)
+	}
+	for i, off := range offs {
+		lo := i * bufSize
+		hi := lo + bufSize
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		r.ep.DevWriteSegment(off, payload[lo:hi])
+	}
+	if !r.ep.DevDeliver(unet.RecvDesc{Channel: r.ch, Length: len(payload), Buffers: offs}) {
+		// Receive queue overflow: recycle the buffers.
+		for _, o := range offs {
+			r.ep.PushFree(nil, o)
+		}
+	}
+}
+
+// OneWayWireTime estimates the fiber+switch flight time of the last cell
+// of an n-byte PDU, used by calibration tests.
+func OneWayWireTime(n int, lp fabric.LinkParams, switchLatency time.Duration) time.Duration {
+	cells := atm.CellsFor(n)
+	if cells == 0 {
+		cells = 1
+	}
+	return time.Duration(cells)*lp.CellTime + lp.Propagation + switchLatency + lp.CellTime + lp.Propagation
+}

@@ -1,0 +1,81 @@
+package sim
+
+// FIFO is a bounded or unbounded queue connecting simulated producers and
+// consumers. Processes block on Put when a bounded queue is full and on Get
+// when it is empty; callbacks (non-process contexts such as wire-delivery
+// events) use TryPut/TryGet, whose failure models hardware FIFO overflow.
+type FIFO[T any] struct {
+	items    []T
+	capacity int // 0 means unbounded
+	nonEmpty Cond
+	nonFull  Cond
+	drops    uint64
+}
+
+// NewFIFO returns a queue holding at most capacity items; capacity ≤ 0
+// means unbounded.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &FIFO[T]{capacity: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *FIFO[T]) Len() int { return len(q.items) }
+
+// Cap returns the capacity (0 = unbounded).
+func (q *FIFO[T]) Cap() int { return q.capacity }
+
+// Drops returns how many TryPut calls failed because the queue was full.
+func (q *FIFO[T]) Drops() uint64 { return q.drops }
+
+func (q *FIFO[T]) full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+
+// TryPut appends v if there is room and reports whether it was accepted.
+// A rejected item counts as a drop.
+func (q *FIFO[T]) TryPut(v T) bool {
+	if q.full() {
+		q.drops++
+		return false
+	}
+	q.items = append(q.items, v)
+	q.nonEmpty.Signal()
+	return true
+}
+
+// Put appends v, blocking the process while the queue is full.
+func (q *FIFO[T]) Put(p *Proc, v T) {
+	for q.full() {
+		p.Wait(&q.nonFull)
+	}
+	q.items = append(q.items, v)
+	q.nonEmpty.Signal()
+}
+
+// TryGet removes and returns the oldest item, if any.
+func (q *FIFO[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.nonFull.Signal()
+	return v, true
+}
+
+// Get removes and returns the oldest item, blocking the process while the
+// queue is empty.
+func (q *FIFO[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		p.Wait(&q.nonEmpty)
+	}
+	v, _ := q.TryGet()
+	return v
+}
+
+// NotEmpty exposes the condition signaled when an item arrives, for callers
+// that multiplex waits across several queues.
+func (q *FIFO[T]) NotEmpty() *Cond { return &q.nonEmpty }

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulated process: application code that consumes virtual time
+// via Sleep and blocks on Conds and FIFOs. A Proc's function runs on a
+// dedicated goroutine, but the engine guarantees that at most one process
+// executes at a time, so simulated code needs no locking.
+type Proc struct {
+	e       *Engine
+	name    string
+	resume  chan struct{}
+	started bool
+	done    bool
+	killed  bool
+}
+
+// procKilled is the panic payload used to unwind a process during Shutdown.
+type procKilled struct{}
+
+// top is the goroutine entry point wrapping the user function.
+func (p *Proc) top(fn func(*Proc)) {
+	defer func() {
+		p.done = true
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); !ok {
+				// Re-panic on the engine side would deadlock the handshake;
+				// deliver the panic on this goroutine with context instead.
+				p.e.parked <- struct{}{}
+				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+			}
+		}
+		p.e.parked <- struct{}{}
+	}()
+	fn(p)
+}
+
+// park blocks the process until the engine transfers control back. It is
+// the single suspension point; every blocking primitive funnels through it.
+func (p *Proc) park() {
+	p.e.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Logf emits a trace message attributed to this process.
+func (p *Proc) Logf(format string, args ...any) { p.e.Tracef(p.name, format, args...) }
+
+// Sleep advances the process's position in virtual time by d: it models the
+// process spending d of CPU (or waiting) time. Other processes and events
+// run in the interim. Non-positive d yields without advancing the clock.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.After(d, func() {
+		if !p.done {
+			p.e.transfer(p)
+		}
+	})
+	p.park()
+}
+
+// Yield reschedules the process at the current virtual time, letting other
+// ready events run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// waiter records one process blocked on a Cond.
+type waiter struct {
+	p        *Proc
+	c        *Cond
+	fired    bool
+	timedOut bool
+}
+
+// Cond is a condition variable for simulated processes. Its zero value is
+// ready to use. As with sync.Cond, waiters must re-check their predicate
+// upon waking, because another process may run between the signal and the
+// resume.
+type Cond struct {
+	waiters []*waiter
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		w.p.e.resumeLater(w.p)
+		return
+	}
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		w.p.e.resumeLater(w.p)
+	}
+}
+
+// remove deletes one waiter (used when its timeout fires).
+func (c *Cond) remove(w *waiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Waiting reports how many processes are blocked on the condition.
+func (c *Cond) Waiting() int {
+	n := 0
+	for _, w := range c.waiters {
+		if !w.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait blocks the process until the condition is signaled.
+func (p *Proc) Wait(c *Cond) {
+	w := &waiter{p: p, c: c}
+	c.waiters = append(c.waiters, w)
+	p.park()
+}
+
+// WaitTimeout blocks until the condition is signaled or d elapses. It
+// reports true if the wake was a signal and false on timeout. A timed-out
+// waiter is removed from the condition immediately, so polling loops do
+// not accumulate stale entries.
+func (p *Proc) WaitTimeout(c *Cond, d time.Duration) bool {
+	w := &waiter{p: p, c: c}
+	c.waiters = append(c.waiters, w)
+	p.e.After(d, func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		w.timedOut = true
+		c.remove(w)
+		if !p.done {
+			p.e.transfer(p)
+		}
+	})
+	p.park()
+	return !w.timedOut
+}

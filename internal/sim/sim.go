@@ -1,0 +1,229 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine maintains a virtual clock and an ordered event queue. Simulated
+// activities run either as plain scheduled callbacks (Engine.After) or as
+// processes (Proc): goroutines that are cooperatively scheduled so that
+// exactly one of them — or the engine itself — executes at any instant.
+// Processes advance the virtual clock by sleeping (charging processing
+// costs) and synchronize through conditions (Cond) and bounded FIFOs.
+//
+// Determinism: events firing at the same virtual time are processed in
+// scheduling order, and all randomness flows from the engine's seeded
+// source, so a simulation produces bit-identical results across runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event simulator instance. Create one with New; it is
+// not safe for concurrent use from multiple OS threads — all interaction
+// must happen from the goroutine that calls Run or from within simulated
+// processes and callbacks, which the engine serializes.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	parked chan struct{}
+	// running is the currently executing process, nil while the engine
+	// itself (or a callback) runs.
+	running *Proc
+	procs   map[*Proc]struct{}
+	rng     *rand.Rand
+	tracer  func(at time.Duration, who, msg string)
+	nsteps  uint64
+}
+
+// New returns an engine with its virtual clock at zero and randomness
+// seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps reports how many events have fired since the engine was created.
+// Useful as a progress/livelock diagnostic in tests.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// SetTracer installs fn to observe trace messages emitted via Tracef and
+// Proc.Logf. A nil fn disables tracing.
+func (e *Engine) SetTracer(fn func(at time.Duration, who, msg string)) { e.tracer = fn }
+
+// Tracef emits a trace message attributed to who.
+func (e *Engine) Tracef(who, format string, args ...any) {
+	if e.tracer != nil {
+		e.tracer(e.now, who, fmt.Sprintf(format, args...))
+	}
+}
+
+// event is a single queue entry: fn fires at virtual time at. Entries with
+// equal times fire in scheduling (seq) order.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but do not fire.
+	canceled bool
+}
+
+// Timer is a handle to a scheduled callback. Cancel prevents a pending
+// callback from firing; canceling an already-fired timer is a no-op.
+type Timer struct{ ev *event }
+
+// Cancel stops the timer. It reports whether the callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// At schedules fn to run at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) At(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run processes events until the queue is empty (the simulation is
+// quiescent: every process is blocked or finished). It returns the final
+// virtual time. Run may be called again after scheduling more work.
+func (e *Engine) Run() time.Duration {
+	return e.RunUntil(-1)
+}
+
+// RunUntil processes events with firing times ≤ limit (limit < 0 means no
+// limit) and returns the virtual time reached. Events beyond the limit stay
+// queued.
+func (e *Engine) RunUntil(limit time.Duration) time.Duration {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if limit >= 0 && next.at > limit {
+			if limit > e.now {
+				e.now = limit
+			}
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		next.canceled = true // fired: a later Cancel reports not-pending
+		if next.at > e.now {
+			e.now = next.at
+		}
+		e.nsteps++
+		next.fn()
+	}
+	return e.now
+}
+
+// Shutdown terminates every live process (blocked or sleeping) by unwinding
+// its goroutine, then discards pending events. Call when a simulation is
+// finished to avoid leaking goroutines; the engine must not be used after.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		p.killed = true
+	}
+	for p := range e.procs {
+		if p.started && !p.done {
+			e.transfer(p)
+		}
+		delete(e.procs, p)
+	}
+	e.events = nil
+}
+
+// transfer hands execution to p and waits until p blocks or finishes.
+// This is the single point of control transfer between engine and process.
+func (e *Engine) transfer(p *Proc) {
+	prev := e.running
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.parked
+	e.running = prev
+	if p.done {
+		delete(e.procs, p)
+	}
+}
+
+// resumeLater schedules p to resume execution at the current virtual time.
+func (e *Engine) resumeLater(p *Proc) {
+	e.After(0, func() {
+		if !p.done {
+			e.transfer(p)
+		}
+	})
+}
+
+// Spawn creates a process named name running fn and schedules it to start
+// at the current virtual time. fn runs on its own goroutine but under the
+// engine's cooperative scheduling: it executes only while every other
+// process is blocked.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	e.After(0, func() {
+		if p.killed || p.started {
+			return
+		}
+		p.started = true
+		prev := e.running
+		e.running = p
+		go p.top(fn)
+		<-e.parked
+		e.running = prev
+		if p.done {
+			delete(e.procs, p)
+		}
+	})
+	return p
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

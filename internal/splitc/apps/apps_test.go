@@ -1,0 +1,251 @@
+package apps_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"unet/internal/machine"
+	"unet/internal/sim"
+	"unet/internal/splitc"
+	"unet/internal/splitc/apps"
+	"unet/internal/testbed"
+	"unet/internal/uam"
+)
+
+func modelNodes(t *testing.T, n int, pm machine.Params) []*splitc.Node {
+	t.Helper()
+	e := sim.New(1)
+	t.Cleanup(e.Shutdown)
+	m := machine.New(e, pm, n)
+	nodes := make([]*splitc.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = splitc.NewNode(m.Node(i))
+	}
+	return nodes
+}
+
+func uamNodes(t *testing.T, n int) []*splitc.Node {
+	t.Helper()
+	tb := testbed.New(testbed.Config{Hosts: n})
+	t.Cleanup(tb.Close)
+	ams := make([]*uam.UAM, n)
+	for i := 0; i < n; i++ {
+		var err error
+		ams[i], err = uam.New(tb.Hosts[i].NewProcess("splitc"), i, uam.Config{MaxPeers: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := uam.Connect(tb.Manager, ams[i], ams[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	nodes := make([]*splitc.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = splitc.NewNode(splitc.NewUAMTransport(ams[i], tb.Hosts[i], n))
+	}
+	return nodes
+}
+
+func checkMM(t *testing.T, cfg apps.MMConfig, nnodes int, cs []map[int][]float64) {
+	t.Helper()
+	ref := apps.MMReference(cfg)
+	g := cfg.Grid
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			owner := (i*g + j) % nnodes
+			got := cs[owner][i*g+j]
+			want := ref[i*g+j]
+			if got == nil {
+				t.Fatalf("block (%d,%d) missing on owner %d", i, j, owner)
+			}
+			for k := range want {
+				if math.Abs(got[k]-want[k]) > 1e-9 {
+					t.Fatalf("block (%d,%d)[%d] = %g, want %g", i, j, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixMultiplyCorrect(t *testing.T) {
+	cfg := apps.MMConfig{Grid: 4, Block: 16}
+	nodes := modelNodes(t, 4, machine.CM5Params())
+	res, cs := apps.RunMM(nodes, cfg)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	checkMM(t, cfg, 4, cs)
+}
+
+func TestMatrixMultiplyOnUNetCluster(t *testing.T) {
+	cfg := apps.MMConfig{Grid: 2, Block: 16}
+	nodes := uamNodes(t, 2)
+	res, cs := apps.RunMM(nodes, cfg)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	checkMM(t, cfg, 2, cs)
+}
+
+// checkSorted verifies a distributed sort result: concatenated partitions
+// are globally sorted and form a permutation of the input keys.
+func checkSorted(t *testing.T, parts [][]uint32, inputs []uint32, partitioned bool) {
+	t.Helper()
+	var all []uint32
+	prevMax := uint32(0)
+	for i, part := range parts {
+		for j := 1; j < len(part); j++ {
+			if part[j] < part[j-1] {
+				t.Fatalf("partition %d not sorted at %d", i, j)
+			}
+		}
+		if partitioned && len(part) > 0 {
+			if part[0] < prevMax {
+				t.Fatalf("partition %d overlaps previous (%d < %d)", i, part[0], prevMax)
+			}
+			prevMax = part[len(part)-1]
+		}
+		all = append(all, part...)
+	}
+	if len(all) != len(inputs) {
+		t.Fatalf("key count changed: %d -> %d", len(inputs), len(all))
+	}
+	sortedIn := append([]uint32(nil), inputs...)
+	sort.Slice(sortedIn, func(i, j int) bool { return sortedIn[i] < sortedIn[j] })
+	if !partitioned {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	}
+	for i := range all {
+		if all[i] != sortedIn[i] {
+			t.Fatalf("keys differ at %d: %d vs %d", i, all[i], sortedIn[i])
+		}
+	}
+}
+
+// inputKeys regenerates the deterministic inputs the sort nodes created.
+func inputKeys(t *testing.T, cfg apps.SortConfig, n int) []uint32 {
+	t.Helper()
+	var all []uint32
+	for node := 0; node < n; node++ {
+		r := apps.KeysForNode(cfg, node)
+		all = append(all, r...)
+	}
+	return all
+}
+
+func TestSampleSortSmall(t *testing.T) {
+	cfg := apps.SortConfig{KeysPerNode: 1000, Oversample: 32, Seed: 2}
+	nodes := modelNodes(t, 4, machine.CM5Params())
+	res, parts := apps.RunSampleSort(nodes, cfg, false)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	checkSorted(t, parts, inputKeys(t, cfg, 4), true)
+}
+
+func TestSampleSortBulk(t *testing.T) {
+	cfg := apps.SortConfig{KeysPerNode: 1000, Oversample: 32, Seed: 2}
+	nodes := modelNodes(t, 4, machine.MeikoParams())
+	res, parts := apps.RunSampleSort(nodes, cfg, true)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	checkSorted(t, parts, inputKeys(t, cfg, 4), true)
+}
+
+func TestSampleSortBulkOnUNetCluster(t *testing.T) {
+	cfg := apps.SortConfig{KeysPerNode: 600, Oversample: 16, Seed: 5}
+	nodes := uamNodes(t, 3)
+	_, parts := apps.RunSampleSort(nodes, cfg, true)
+	checkSorted(t, parts, inputKeys(t, cfg, 3), true)
+}
+
+func TestRadixSortSmall(t *testing.T) {
+	cfg := apps.SortConfig{KeysPerNode: 512, Seed: 4}
+	nodes := modelNodes(t, 4, machine.CM5Params())
+	res, parts := apps.RunRadixSort(nodes, cfg, false)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	checkSorted(t, parts, inputKeys(t, cfg, 4), true)
+}
+
+func TestRadixSortBulk(t *testing.T) {
+	cfg := apps.SortConfig{KeysPerNode: 512, Seed: 4}
+	nodes := modelNodes(t, 4, machine.CM5Params())
+	res, parts := apps.RunRadixSort(nodes, cfg, true)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	checkSorted(t, parts, inputKeys(t, cfg, 4), true)
+}
+
+func TestConnectedComponentsCorrect(t *testing.T) {
+	cfg := apps.CCConfig{VerticesPerNode: 256, Degree: 3, Seed: 6}
+	nodes := modelNodes(t, 4, machine.CM5Params())
+	res, labels := apps.RunCC(nodes, cfg)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	ref := apps.CCReference(cfg, 4)
+	for node, part := range labels {
+		for lv, lbl := range part {
+			gid := node*cfg.VerticesPerNode + lv
+			if lbl != ref[gid] {
+				t.Fatalf("vertex %d label = %d, want %d", gid, lbl, ref[gid])
+			}
+		}
+	}
+}
+
+func TestConjugateGradientConverges(t *testing.T) {
+	cfg := apps.CGConfig{Grid: 16, Iters: 80}
+	nodes := modelNodes(t, 4, machine.MeikoParams())
+	res, residual := apps.RunCG(nodes, cfg)
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// CG on the SPD Laplacian must reduce the residual dramatically.
+	if residual > 1e-6 {
+		t.Fatalf("residual = %g after %d iters, want < 1e-6", residual, cfg.Iters)
+	}
+}
+
+func TestCGSameResidualOnAllMachines(t *testing.T) {
+	cfg := apps.CGConfig{Grid: 16, Iters: 20}
+	var first float64
+	for i, pm := range []machine.Params{machine.CM5Params(), machine.MeikoParams()} {
+		nodes := modelNodes(t, 2, pm)
+		_, res := apps.RunCG(nodes, cfg)
+		if i == 0 {
+			first = res
+		} else if res != first {
+			t.Fatalf("residual differs between machines: %g vs %g", res, first)
+		}
+	}
+}
+
+// The Figure 5 shape: the CM-5 (slow CPU, fast small messages) must beat
+// the Meiko on the small-message sample sort permutation phase relative to
+// its bulk performance. Assert the directional relationship the paper
+// reports: bulk variants help the Meiko more than the CM-5.
+func TestBulkVariantHelpsMeikoMoreThanCM5(t *testing.T) {
+	cfg := apps.SortConfig{KeysPerNode: 2000, Oversample: 32, Seed: 7}
+	speedup := func(pm machine.Params) float64 {
+		small := modelNodes(t, 4, pm)
+		rs, _ := apps.RunSampleSort(small, cfg, false)
+		bulk := modelNodes(t, 4, pm)
+		rb, _ := apps.RunSampleSort(bulk, cfg, true)
+		return float64(rs.Time) / float64(rb.Time)
+	}
+	cm5 := speedup(machine.CM5Params())
+	meiko := speedup(machine.MeikoParams())
+	if meiko <= cm5 {
+		t.Fatalf("bulk speedup: Meiko %.2f ≤ CM-5 %.2f — Figure 5 relationship violated", meiko, cm5)
+	}
+}

@@ -1,0 +1,221 @@
+package apps
+
+import (
+	"encoding/binary"
+	"time"
+
+	"unet/internal/sim"
+	"unet/internal/splitc"
+)
+
+// Radix sort (paper §6, small-message and bulk-transfer variants): 32-bit
+// keys sorted in four passes of one 8-bit digit each. Every pass computes
+// a global histogram (gathered on node 0 and scattered back as per-node
+// rank bases), then routes each key to the exact global position its rank
+// dictates; exact placement makes the distributed sort stable without any
+// cross-processor ordering assumptions.
+
+const radixBits = 8
+const radixBuckets = 1 << radixBits
+
+// radix message args.
+const (
+	argRadixPair = 6 // (position, key) routed small message
+)
+
+// bulk payload tags (first uint32 of every radix bulk transfer).
+const (
+	bulkHist  = 1 // [tag][node id][256 counts]
+	bulkRanks = 2 // [tag][256 rank bases]
+	bulkPairs = 3 // [tag][pos, key]...
+)
+
+type radixNode struct {
+	nd   *splitc.Node
+	cfg  SortConfig
+	keys []uint32 // current pass input (local slice of the global array)
+	next []uint32 // next pass output
+	base int      // global index of next[0]
+
+	eod      eodTracker
+	histIn   [][]uint32
+	rankBase []uint32
+}
+
+func (r *radixNode) setup() {
+	r.keys = KeysForNode(r.cfg, r.nd.Self())
+	r.base = r.nd.Self() * r.cfg.KeysPerNode
+	r.next = make([]uint32, r.cfg.KeysPerNode)
+	r.eod = eodTracker{nd: r.nd}
+	r.nd.OnSmall(func(p *sim.Proc, src int, arg uint32, data []byte) (uint32, []byte) {
+		switch arg {
+		case argEOD:
+			r.eod.seen++
+		case argRadixPair:
+			pos := binary.BigEndian.Uint32(data)
+			key := binary.BigEndian.Uint32(data[4:])
+			r.place(pos, key)
+		}
+		return 0, nil
+	})
+	r.nd.OnBulk(func(p *sim.Proc, src int, data []byte) {
+		words := bytesToU32s(data)
+		switch words[0] {
+		case bulkHist:
+			r.histIn = append(r.histIn, words[1:])
+		case bulkRanks:
+			r.rankBase = words[1:]
+		case bulkPairs:
+			pairs := words[1:]
+			for i := 0; i+1 < len(pairs); i += 2 {
+				r.place(pairs[i], pairs[i+1])
+			}
+		}
+	})
+}
+
+func (r *radixNode) place(pos, key uint32) {
+	r.next[int(pos)-r.base] = key
+}
+
+func (r *radixNode) runPass(p *sim.Proc, shift uint, bulk bool) {
+	n, self := r.nd.N(), r.nd.Self()
+	local := r.cfg.KeysPerNode
+	counts := make([]uint32, radixBuckets)
+	for _, k := range r.keys {
+		counts[(k>>shift)&(radixBuckets-1)]++
+	}
+	r.nd.ComputeOps(p, local, splitc.IntOpCost)
+
+	rank := r.gatherRanks(p, counts)
+
+	// Route each key to its exact global position.
+	running := make([]uint32, radixBuckets)
+	if bulk {
+		out := make([][]uint32, n)
+		for _, k := range r.keys {
+			b := (k >> shift) & (radixBuckets - 1)
+			pos := rank[b] + running[b]
+			running[b]++
+			dst := int(pos) / local
+			out[dst] = append(out[dst], pos, k)
+		}
+		r.nd.ComputeOps(p, local*4, splitc.IntOpCost)
+		for d := 0; d < n; d++ {
+			if len(out[d]) == 0 {
+				continue
+			}
+			if d == self {
+				for i := 0; i+1 < len(out[d]); i += 2 {
+					r.place(out[d][i], out[d][i+1])
+				}
+				continue
+			}
+			r.nd.Bulk(p, d, u32sToBytes(append([]uint32{bulkPairs}, out[d]...)))
+		}
+	} else {
+		var buf [8]byte
+		for _, k := range r.keys {
+			b := (k >> shift) & (radixBuckets - 1)
+			pos := rank[b] + running[b]
+			running[b]++
+			dst := int(pos) / local
+			if dst == self {
+				r.place(pos, k)
+				continue
+			}
+			binary.BigEndian.PutUint32(buf[:], pos)
+			binary.BigEndian.PutUint32(buf[4:], k)
+			r.nd.Send(p, dst, argRadixPair, buf[:])
+		}
+		r.nd.ComputeOps(p, local*4, splitc.IntOpCost)
+	}
+	r.eod.sendAll(p)
+	r.eod.wait(p)
+	r.keys, r.next = r.next, r.keys
+	r.nd.Barrier(p)
+}
+
+// gatherRanks computes each node's per-bucket starting rank: histograms
+// are tagged with the sender id, gathered on node 0, prefix-summed in
+// bucket-major order, and scattered back.
+func (r *radixNode) gatherRanks(p *sim.Proc, counts []uint32) []uint32 {
+	n, self := r.nd.N(), r.nd.Self()
+	r.rankBase = nil
+	tagged := append([]uint32{bulkHist, uint32(self)}, counts...)
+	if self != 0 {
+		r.nd.Bulk(p, 0, u32sToBytes(tagged))
+		for r.rankBase == nil {
+			r.nd.PollWait(p, time.Millisecond)
+		}
+		out := r.rankBase
+		r.rankBase = nil
+		return out
+	}
+	r.histIn = append(r.histIn, tagged[1:])
+	for len(r.histIn) < n {
+		r.nd.PollWait(p, time.Millisecond)
+	}
+	hists := make([][]uint32, n)
+	for _, h := range r.histIn {
+		hists[h[0]] = h[1:]
+	}
+	r.histIn = nil
+	// rank[node][bucket] = total of all smaller buckets + same-bucket
+	// counts of smaller node ids.
+	bucketTotals := make([]uint32, radixBuckets)
+	for _, h := range hists {
+		for b, c := range h {
+			bucketTotals[b] += c
+		}
+	}
+	prefix := make([]uint32, radixBuckets)
+	acc := uint32(0)
+	for b := 0; b < radixBuckets; b++ {
+		prefix[b] = acc
+		acc += bucketTotals[b]
+	}
+	r.nd.ComputeOps(p, n*radixBuckets, splitc.IntOpCost)
+	var mine []uint32
+	for node := n - 1; node >= 0; node-- {
+		ranks := make([]uint32, radixBuckets)
+		for b := 0; b < radixBuckets; b++ {
+			base := prefix[b]
+			for prev := 0; prev < node; prev++ {
+				base += hists[prev][b]
+			}
+			ranks[b] = base
+		}
+		if node == 0 {
+			mine = ranks
+		} else {
+			r.nd.Bulk(p, node, u32sToBytes(append([]uint32{bulkRanks}, ranks...)))
+		}
+	}
+	return mine
+}
+
+func (r *radixNode) run(p *sim.Proc, bulk bool) {
+	for pass := 0; pass < 32/radixBits; pass++ {
+		r.runPass(p, uint(pass*radixBits), bulk)
+	}
+}
+
+// RunRadixSort executes the radix sort; bulk selects the bulk-transfer
+// variant. It returns the timing result and each node's slice of the
+// globally sorted array.
+func RunRadixSort(nodes []*splitc.Node, cfg SortConfig, bulk bool) (Result, [][]uint32) {
+	rs := make([]*radixNode, len(nodes))
+	for i, nd := range nodes {
+		rs[i] = &radixNode{nd: nd, cfg: cfg}
+		rs[i].setup()
+	}
+	times := splitc.Run(nodes, func(p *sim.Proc, nd *splitc.Node) {
+		rs[nd.Self()].run(p, bulk)
+	})
+	out := make([][]uint32, len(nodes))
+	for i, r := range rs {
+		out[i] = r.keys // after the final swap, keys holds the result
+	}
+	return collect(nodes, times), out
+}

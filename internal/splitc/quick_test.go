@@ -1,0 +1,122 @@
+package splitc_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"unet/internal/machine"
+	"unet/internal/sim"
+	"unet/internal/splitc"
+)
+
+// Property: AllReduce computes the same result on every node, equal to the
+// sequential fold, for arbitrary values, operators and machine widths.
+func TestAllReduceProperty(t *testing.T) {
+	prop := func(vals []int64, opSel uint8, widthSel uint8) bool {
+		n := 2 + int(widthSel)%7 // 2..8 nodes (covers pow2 and not)
+		if len(vals) < n {
+			for len(vals) < n {
+				vals = append(vals, int64(len(vals)*7-3))
+			}
+		}
+		vals = vals[:n]
+		op := []splitc.ReduceOp{splitc.OpSum, splitc.OpMax, splitc.OpMin}[int(opSel)%3]
+
+		want := vals[0]
+		for _, v := range vals[1:] {
+			switch op {
+			case splitc.OpMax:
+				if v > want {
+					want = v
+				}
+			case splitc.OpMin:
+				if v < want {
+					want = v
+				}
+			default:
+				want += v
+			}
+		}
+
+		e := sim.New(1)
+		defer e.Shutdown()
+		m := machine.New(e, machine.CM5Params(), n)
+		nodes := make([]*splitc.Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = splitc.NewNode(m.Node(i))
+		}
+		got := make([]int64, n)
+		splitc.Run(nodes, func(p *sim.Proc, nd *splitc.Node) {
+			got[nd.Self()] = nd.AllReduce(p, vals[nd.Self()], op)
+		})
+		for _, g := range got {
+			if g != want {
+				t.Logf("n=%d op=%d vals=%v: got %v want %d", n, op, vals, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Repeated barriers must stay synchronized: no node may enter round k+1
+// before every node has left round k.
+func TestBarrierStress(t *testing.T) {
+	const n, rounds = 5, 25
+	e := sim.New(1)
+	defer e.Shutdown()
+	m := machine.New(e, machine.MeikoParams(), n)
+	nodes := make([]*splitc.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = splitc.NewNode(m.Node(i))
+	}
+	phase := make([]int, n)
+	bad := false
+	splitc.Run(nodes, func(p *sim.Proc, nd *splitc.Node) {
+		for r := 0; r < rounds; r++ {
+			// Deterministic per-node skew before arriving.
+			p.Sleep(time.Duration((nd.Self()*37+r*11)%97) * time.Microsecond)
+			phase[nd.Self()] = r
+			nd.Barrier(p)
+			for i := 0; i < n; i++ {
+				if phase[i] < r {
+					bad = true
+				}
+			}
+		}
+	})
+	if bad {
+		t.Fatal("barrier let a node run ahead of a straggler")
+	}
+}
+
+// AllReduceFloat must sum floats exactly when the values are exactly
+// representable, across both butterfly (pow2) and centralized (non-pow2)
+// paths.
+func TestAllReduceFloatBothPaths(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		e := sim.New(1)
+		m := machine.New(e, machine.CM5Params(), n)
+		nodes := make([]*splitc.Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = splitc.NewNode(m.Node(i))
+		}
+		want := 0.0
+		for i := 0; i < n; i++ {
+			want += float64(i) + 0.5
+		}
+		splitc.Run(nodes, func(p *sim.Proc, nd *splitc.Node) {
+			got := nd.AllReduceFloat(p, float64(nd.Self())+0.5)
+			if got != want {
+				t.Errorf("n=%d node %d: %v != %v", n, nd.Self(), got, want)
+			}
+		})
+		e.Shutdown()
+	}
+}

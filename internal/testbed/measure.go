@@ -1,0 +1,118 @@
+package testbed
+
+import (
+	"time"
+
+	"unet/internal/sim"
+	"unet/internal/unet"
+)
+
+// Recycle returns a received message's buffers to the endpoint's free
+// queue, charging the pushes to p.
+func Recycle(p *sim.Proc, ep *unet.Endpoint, rd unet.RecvDesc) {
+	for _, off := range rd.Buffers {
+		if err := ep.PushFree(p, off); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// sendDesc builds the appropriate descriptor for a size-byte message:
+// inline when the device's single-cell fast path accepts it, staged in the
+// segment at stage otherwise.
+func sendDesc(ep *unet.Endpoint, ch unet.ChannelID, stage, size int) unet.SendDesc {
+	if size <= ep.Host().Device().SingleCellMax() {
+		return unet.SendDesc{Channel: ch, Inline: ep.Segment()[stage : stage+size]}
+	}
+	return unet.SendDesc{Channel: ch, Offset: stage, Length: size}
+}
+
+// PingPong measures the mean round-trip time of size-byte messages echoed
+// between the pair's endpoints, the experiment behind Figure 3's Raw U-Net
+// curve. One warm-up round precedes measurement.
+func (pr *Pair) PingPong(rounds, size int) time.Duration {
+	tb := pr.TB
+	stageA, stageB := pr.StageA, pr.StageB
+	var start, end time.Duration
+
+	pr.EpB.Host().Spawn("echo", func(p *sim.Proc) {
+		for i := 0; i < rounds+1; i++ {
+			rd := pr.EpB.Recv(p)
+			Recycle(p, pr.EpB, rd)
+			if err := pr.EpB.SendBlock(p, sendDesc(pr.EpB, pr.ChB, stageB, size)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	pr.EpA.Host().Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < rounds+1; i++ {
+			if i == 1 {
+				start = p.Now()
+			}
+			if err := pr.EpA.SendBlock(p, sendDesc(pr.EpA, pr.ChA, stageA, size)); err != nil {
+				panic(err)
+			}
+			rd := pr.EpA.Recv(p)
+			Recycle(p, pr.EpA, rd)
+		}
+		end = p.Now()
+	})
+	tb.Eng.Run()
+	return (end - start) / time.Duration(rounds)
+}
+
+// StreamResult reports a one-way streaming experiment.
+type StreamResult struct {
+	Messages  int
+	Bytes     int
+	Elapsed   time.Duration
+	Delivered int
+	Dropped   uint64
+}
+
+// MBps is the receiver-observed payload bandwidth in megabytes per second.
+func (r StreamResult) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / 1e6
+}
+
+// Stream blasts count size-byte messages from endpoint A to endpoint B as
+// fast as the send queue accepts them and reports the receiver-observed
+// bandwidth — the experiment behind Figure 4's Raw U-Net curve.
+func (pr *Pair) Stream(count, size int) StreamResult {
+	tb := pr.TB
+	stageA := pr.StageA
+	res := StreamResult{Messages: count}
+	var start, end time.Duration
+
+	pr.EpB.Host().Spawn("sink", func(p *sim.Proc) {
+		for got := 0; got < count; got++ {
+			rd := pr.EpB.Recv(p)
+			Recycle(p, pr.EpB, rd)
+			res.Delivered++
+			if got == 0 {
+				// The first delivery opens the measurement window; its own
+				// bytes are excluded so that Bytes/Elapsed is unbiased.
+				start = p.Now()
+			} else {
+				res.Bytes += rd.Length
+			}
+			end = p.Now()
+		}
+	})
+	pr.EpA.Host().Spawn("blast", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			if err := pr.EpA.SendBlock(p, sendDesc(pr.EpA, pr.ChA, stageA, size)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	// A lossy stream never delivers count messages; bound the run.
+	tb.Eng.RunUntil(time.Duration(count)*time.Millisecond + time.Second)
+	st := pr.EpB.Stats()
+	res.Dropped = st.DroppedNoBuffer + st.DroppedQueueFull + st.DroppedReassembly
+	res.Elapsed = end - start
+	return res
+}

@@ -1,0 +1,132 @@
+// Package testbed assembles complete simulated clusters — engine, fabric,
+// switch, hosts, NICs, manager — matching the paper's experimental set-up
+// (§4.2: eight SPARCstations on a Fore ASX-200 with 140 Mbit/s TAXI
+// links). It is the shared fixture for tests, benchmarks, the harness and
+// the examples.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"unet/internal/fabric"
+	"unet/internal/nic"
+	"unet/internal/sim"
+	"unet/internal/unet"
+)
+
+// Config selects the cluster's shape and models.
+type Config struct {
+	// Hosts is the number of workstations (default 2).
+	Hosts int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Node is the host CPU cost model (default DefaultNodeParams).
+	Node *unet.NodeParams
+	// NIC is the interface model (default SBA200Params).
+	NIC *nic.Params
+	// Link is the fiber timing (default 140 Mbit/s TAXI).
+	Link *fabric.LinkParams
+	// SwitchLatency is the ASX-200 forwarding latency (default 2 µs).
+	SwitchLatency time.Duration
+}
+
+// Testbed is an assembled cluster.
+type Testbed struct {
+	Eng     *sim.Engine
+	Fabric  *fabric.Cluster
+	Manager *unet.Manager
+	Hosts   []*unet.Host
+	Devices []*nic.Device
+}
+
+// New builds a cluster per cfg.
+func New(cfg Config) *Testbed {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	node := unet.DefaultNodeParams()
+	if cfg.Node != nil {
+		node = *cfg.Node
+	}
+	nicp := nic.SBA200Params()
+	if cfg.NIC != nil {
+		nicp = *cfg.NIC
+	}
+	link := fabric.DefaultLinkParams()
+	if cfg.Link != nil {
+		link = *cfg.Link
+	}
+	if cfg.SwitchLatency == 0 {
+		cfg.SwitchLatency = fabric.DefaultSwitchLatency
+	}
+
+	e := sim.New(cfg.Seed)
+	fc := fabric.NewCluster(e, "atm", cfg.Hosts, link, cfg.SwitchLatency)
+	m := unet.NewManager(fc)
+	tb := &Testbed{Eng: e, Fabric: fc, Manager: m}
+	for i := 0; i < cfg.Hosts; i++ {
+		h := unet.NewHost(e, fmt.Sprintf("host%d", i), node)
+		d := nic.Attach(h, fc, m, i, nicp)
+		tb.Hosts = append(tb.Hosts, h)
+		tb.Devices = append(tb.Devices, d)
+	}
+	return tb
+}
+
+// Close shuts the engine down, unwinding all simulated processes.
+func (tb *Testbed) Close() { tb.Eng.Shutdown() }
+
+// Pair is a connected endpoint pair on hosts 0 and 1 with receive buffers
+// provided, ready for ping-pong style experiments.
+type Pair struct {
+	TB       *Testbed
+	EpA, EpB *unet.Endpoint
+	ChA, ChB unet.ChannelID
+	// StageA and StageB are segment offsets past the receive buffers,
+	// usable as send staging space.
+	StageA, StageB int
+}
+
+// NewPair creates endpoints on hosts a and b with cfg (zero value for
+// defaults), connects them, and provisions nbufs receive buffers each,
+// starting at segment offset 0. Send-side staging space begins at the
+// returned SendBase offset.
+func (tb *Testbed) NewPair(a, b int, cfg unet.EndpointConfig, nbufs int) (*Pair, error) {
+	prA := tb.Hosts[a].NewProcess("app")
+	prB := tb.Hosts[b].NewProcess("app")
+	epA, err := tb.Hosts[a].Kernel.CreateEndpoint(nil, prA, cfg)
+	if err != nil {
+		return nil, err
+	}
+	epB, err := tb.Hosts[b].Kernel.CreateEndpoint(nil, prB, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := tb.Manager.Connect(nil, epA, epB)
+	if err != nil {
+		return nil, err
+	}
+	if nbufs > 0 {
+		if _, err := epA.ProvideRecvBuffers(nil, 0, nbufs); err != nil {
+			return nil, err
+		}
+		if _, err := epB.ProvideRecvBuffers(nil, 0, nbufs); err != nil {
+			return nil, err
+		}
+	}
+	return &Pair{
+		TB: tb, EpA: epA, EpB: epB, ChA: ch.ChanA, ChB: ch.ChanB,
+		StageA: SendBase(epA, nbufs), StageB: SendBase(epB, nbufs),
+	}, nil
+}
+
+// SendBase returns the first segment offset past n receive buffers of the
+// endpoint's configured size — where send staging space starts for
+// fixtures built with NewPair.
+func SendBase(ep *unet.Endpoint, nbufs int) int {
+	return nbufs * ep.Config().RecvBufSize
+}

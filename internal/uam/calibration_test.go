@@ -1,0 +1,85 @@
+package uam_test
+
+import (
+	"testing"
+	"time"
+
+	"unet/internal/experiments"
+	"unet/internal/nic"
+	"unet/internal/uam"
+)
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	lo, hi := want*(1-tol), want*(1+tol)
+	if got < lo || got > hi {
+		t.Errorf("%s = %.2f, want %.2f ± %.0f%%", name, got, want, tol*100)
+	}
+}
+
+const usF = float64(time.Microsecond)
+
+// §5.2 (1): single-cell request/reply round trips start at 71 µs — about
+// 6 µs over raw U-Net.
+func TestUAMSingleCellRTT71us(t *testing.T) {
+	got := float64(experiments.UAMPingPong(uam.Config{}, 16, 40)) / usF
+	within(t, "UAM single-cell RTT", got, 71, 0.05)
+}
+
+func TestUAMOverheadOverRawIsAFewMicroseconds(t *testing.T) {
+	raw := float64(experiments.RawRTT(nic.SBA200Params(), 16, 40)) / usF
+	am := float64(experiments.UAMPingPong(uam.Config{}, 16, 40)) / usF
+	over := am - raw
+	if over < 3 || over > 10 {
+		t.Fatalf("UAM overhead over raw = %.1fµs, want ~6µs", over)
+	}
+}
+
+// §5.2 (2): N-byte block transfers take roughly 135 µs + N·0.2 µs round
+// trip.
+func TestUAMBlockTransferSlope(t *testing.T) {
+	for _, n := range []int{256, 512, 1024, 2048} {
+		got := float64(experiments.UAMPingPong(uam.Config{}, n, 25)) / usF
+		want := 135 + 0.2*float64(n)
+		within(t, "UAM xfer RTT", got, want, 0.08)
+	}
+}
+
+// §5.2 (3): block store reaches 80% of the AAL-5 limit by ~2 KB and peaks
+// at 14.8 MB/s at 4 KB.
+func TestUAMStoreBandwidth(t *testing.T) {
+	bw2k := experiments.UAMStoreBandwidth(uam.Config{}, 2048, 150)
+	if lim := experiments.AAL5Limit(2048); bw2k < 0.8*lim {
+		t.Errorf("2KB store bandwidth %.2f MB/s < 80%% of AAL-5 limit %.2f", bw2k, lim)
+	}
+	bw4k := experiments.UAMStoreBandwidth(uam.Config{}, 4096, 150)
+	within(t, "4KB store bandwidth", bw4k, 14.8, 0.05)
+}
+
+// §5.2: "The dip in performance at 4164 bytes is caused by the fact that
+// UAM uses buffers holding 4160 bytes" — one block then needs two
+// messages.
+func TestUAMStoreDipAt4164(t *testing.T) {
+	at4160 := experiments.UAMStoreBandwidth(uam.Config{}, 4160, 120)
+	at4164 := experiments.UAMStoreBandwidth(uam.Config{}, 4164, 120)
+	if at4164 >= at4160 {
+		t.Fatalf("no dip: store(4164)=%.2f ≥ store(4160)=%.2f MB/s", at4164, at4160)
+	}
+}
+
+// §5.2 (4): block get performance is nearly identical to block store.
+func TestUAMGetMatchesStore(t *testing.T) {
+	store := experiments.UAMStoreBandwidth(uam.Config{}, 4096, 120)
+	get := experiments.UAMGetBandwidth(uam.Config{}, 4096, 120)
+	within(t, "get vs store bandwidth", get, store, 0.10)
+}
+
+// Ablation sanity: a window of 1 serializes the pipe and loses most of the
+// streaming bandwidth.
+func TestUAMWindowOneCollapsesBandwidth(t *testing.T) {
+	w8 := experiments.UAMStoreBandwidth(uam.Config{}, 4096, 100)
+	w1 := experiments.UAMStoreBandwidth(uam.Config{Window: 1}, 4096, 100)
+	if w1 >= 0.8*w8 {
+		t.Fatalf("window=1 bandwidth %.2f not far below window=8 %.2f", w1, w8)
+	}
+}

@@ -1,0 +1,343 @@
+package uam
+
+import (
+	"time"
+
+	"unet/internal/sim"
+	"unet/internal/unet"
+)
+
+// outstanding reports how many unacknowledged messages the stream to pe
+// holds.
+func (pe *peer) outstanding() int { return seqDiff(pe.nextSeq, pe.ackedTo) }
+
+// sendReliable stages a message in the next window slot and transmits it.
+// When the window is full it polls for incoming messages until space opens
+// or the retransmit timer fires (§5.1.2: "the sender polls for incoming
+// messages until there is space in the send window or until a time-out
+// occurs and all unacknowledged messages are retransmitted").
+func (u *UAM) sendReliable(p *sim.Proc, pe *peer, typ, handler uint8, arg uint32, data []byte) error {
+	if len(data) > u.cfg.BulkMax {
+		return ErrTooLong
+	}
+	// "To send a request message, UAM first processes any outstanding
+	// messages in the receive queue" (§5.1.2): this keeps acknowledgments
+	// flowing in all-to-all communication patterns without explicit
+	// polling in the application.
+	u.drainIncoming(p)
+	for pe.outstanding() >= u.cfg.Window {
+		u.pollOrTimeout(p, pe)
+	}
+	charge(p, u.cfg.OpOverhead)
+	seq := pe.nextSeq
+	slot := &pe.slots[int(seq)%u.cfg.Window]
+	// Solicit a prompt ack once the window is half committed, so steady
+	// one-way flows never stall waiting for the retransmit timer.
+	reqAck := 2*(pe.outstanding()+1) >= u.cfg.Window
+	h := header{typ: typ, reqAck: reqAck, handler: handler, seq: seq, ack: pe.expected, arg: arg}
+	pe.lastAckSent = pe.expected
+	var hdr [headerSize]byte
+	h.encode(hdr[:])
+	if err := u.ep.Compose(p, slot.off, hdr[:]); err != nil {
+		return err
+	}
+	if err := u.ep.Compose(p, slot.off+headerSize, data); err != nil {
+		return err
+	}
+	slot.n = headerSize + len(data)
+	if slot.n > u.ep.Host().Device().SingleCellMax() {
+		charge(p, u.cfg.BulkOverhead)
+	}
+	pe.needAck = false
+	pe.nextSeq++
+	if pe.deadline == 0 {
+		pe.deadline = p.Now() + u.cfg.RetransmitTimeout
+	}
+	return u.transmitSlot(p, pe, *slot)
+}
+
+// transmitSlot pushes a staged message to the endpoint, inline when it
+// fits a single cell.
+func (u *UAM) transmitSlot(p *sim.Proc, pe *peer, slot txSlot) error {
+	var d unet.SendDesc
+	if slot.n <= u.ep.Host().Device().SingleCellMax() {
+		d = unet.SendDesc{Channel: pe.ch, Inline: u.ep.Segment()[slot.off : slot.off+slot.n]}
+	} else {
+		d = unet.SendDesc{Channel: pe.ch, Offset: slot.off, Length: slot.n}
+	}
+	return u.ep.SendBlock(p, d)
+}
+
+// sendAck emits an explicit cumulative acknowledgment (unsequenced).
+func (u *UAM) sendAck(p *sim.Proc, pe *peer) {
+	u.sendControl(p, pe, typeAck)
+	u.stats.AcksSent++
+}
+
+// sendAckPing solicits an immediate ack from the peer (used by Flush when
+// the tail of a transfer generated no solicitation of its own).
+func (u *UAM) sendAckPing(p *sim.Proc, pe *peer) {
+	u.sendControl(p, pe, typeAckPing)
+}
+
+// sendControl emits an unsequenced single-cell control message carrying
+// the cumulative ack.
+func (u *UAM) sendControl(p *sim.Proc, pe *peer, typ uint8) {
+	charge(p, u.cfg.OpOverhead)
+	h := header{typ: typ, ack: pe.expected}
+	var hdr [headerSize]byte
+	h.encode(hdr[:])
+	pe.lastAckSent = pe.expected
+	pe.needAck = false
+	pe.forceAck = false
+	// Control messages are single-cell and unsequenced: losing one only
+	// delays the sender until the next solicitation or a retransmission.
+	buf := make([]byte, headerSize)
+	copy(buf, hdr[:])
+	_ = u.ep.SendBlock(p, unet.SendDesc{Channel: pe.ch, Inline: buf})
+}
+
+// drainIncoming processes whatever is already in the receive queue,
+// guarding against re-entrance from handlers that themselves send.
+// Deliberately no explicit-ack flush here: this runs on the send path,
+// where our own outgoing messages piggyback the cumulative ack — explicit
+// acks are only worth their NIC slot when the node is idle (Poll/PollWait)
+// or stalled on a full window (pollOrTimeout).
+func (u *UAM) drainIncoming(p *sim.Proc) {
+	if u.draining {
+		return
+	}
+	u.draining = true
+	for {
+		rd, ok := u.ep.PollRecv(p)
+		if !ok {
+			break
+		}
+		u.process(p, rd)
+	}
+	u.draining = false
+}
+
+// Poll drains the receive queue, dispatching handlers and recycling
+// buffers, then flushes pending acknowledgments and fires due retransmit
+// timers (§5.1.2). It returns the number of messages processed.
+func (u *UAM) Poll(p *sim.Proc) int {
+	n := 0
+	for {
+		rd, ok := u.ep.PollRecv(p)
+		if !ok {
+			break
+		}
+		u.process(p, rd)
+		n++
+	}
+	u.flushAcks(p)
+	u.checkTimers(p)
+	return n
+}
+
+// PollWait blocks up to d for at least one message, then drains like Poll.
+func (u *UAM) PollWait(p *sim.Proc, d time.Duration) int {
+	rd, ok := u.ep.RecvTimeout(p, d)
+	if !ok {
+		u.checkTimers(p)
+		return 0
+	}
+	u.process(p, rd)
+	return 1 + u.Poll(p)
+}
+
+// pollOrTimeout waits for traffic until pe's retransmit deadline, then
+// retransmits if nothing moved the window.
+func (u *UAM) pollOrTimeout(p *sim.Proc, pe *peer) {
+	wait := pe.deadline - p.Now()
+	if wait <= 0 {
+		u.retransmit(p, pe)
+		return
+	}
+	rd, ok := u.ep.RecvTimeout(p, wait)
+	if !ok {
+		u.retransmit(p, pe)
+		return
+	}
+	u.process(p, rd)
+	for {
+		rd, ok := u.ep.PollRecv(p)
+		if !ok {
+			break
+		}
+		u.process(p, rd)
+	}
+	u.flushAcks(p)
+}
+
+// checkTimers retransmits every peer whose deadline has passed.
+func (u *UAM) checkTimers(p *sim.Proc) {
+	for _, pe := range u.peers {
+		if pe.deadline != 0 && p.Now() >= pe.deadline {
+			u.retransmit(p, pe)
+		}
+	}
+}
+
+// retransmit implements go-back-N: every unacknowledged staged message is
+// resent in order (§5.1.1).
+func (u *UAM) retransmit(p *sim.Proc, pe *peer) {
+	if pe.outstanding() == 0 {
+		pe.deadline = 0
+		return
+	}
+	for s := pe.ackedTo; s != pe.nextSeq; s++ {
+		slot := pe.slots[int(s)%u.cfg.Window]
+		u.stats.Retransmits++
+		charge(p, u.cfg.OpOverhead)
+		if err := u.transmitSlot(p, pe, slot); err != nil {
+			return
+		}
+	}
+	pe.deadline = p.Now() + u.cfg.RetransmitTimeout
+}
+
+// flushAcks sends explicit acks where piggybacking has fallen behind:
+// either the peer saw a duplicate (it missed our acks), or our outgoing
+// traffic has not carried a cumulative ack for half a window of arrivals.
+// In traffic patterns with reverse data flow this sends almost nothing —
+// the data itself acknowledges — which keeps explicit acks off the NIC's
+// critical path.
+func (u *UAM) flushAcks(p *sim.Proc) {
+	for _, pe := range u.peers {
+		if !pe.needAck {
+			continue
+		}
+		if pe.forceAck || 2*seqDiff(pe.expected, pe.lastAckSent) >= u.cfg.Window {
+			u.sendAck(p, pe)
+		}
+	}
+}
+
+// gather copies a received message out of U-Net buffers into contiguous
+// memory (one of the two UAM copies, §5.3) and recycles the buffers.
+func (u *UAM) gather(p *sim.Proc, rd unet.RecvDesc) []byte {
+	if rd.Inline != nil {
+		charge(p, u.ep.Host().Params.CopyCost(len(rd.Inline)))
+		out := make([]byte, len(rd.Inline))
+		copy(out, rd.Inline)
+		return out
+	}
+	out := make([]byte, rd.Length)
+	n := 0
+	bufSize := u.ep.Config().RecvBufSize
+	for _, off := range rd.Buffers {
+		chunk := rd.Length - n
+		if chunk > bufSize {
+			chunk = bufSize
+		}
+		if err := u.ep.ReadBuf(p, off, out[n:n+chunk]); err != nil {
+			panic(err)
+		}
+		n += chunk
+		if err := u.ep.PushFree(p, off); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// process handles one arrival: acknowledgment bookkeeping, in-order
+// acceptance, handler dispatch.
+func (u *UAM) process(p *sim.Proc, rd unet.RecvDesc) {
+	pe, ok := u.byChan[rd.Channel]
+	if !ok {
+		return
+	}
+	msg := u.gather(p, rd)
+	h, err := decodeHeader(msg)
+	if err != nil {
+		return
+	}
+	charge(p, u.cfg.OpOverhead)
+	if len(msg) > u.ep.Host().Device().SingleCellMax() {
+		charge(p, u.cfg.BulkOverhead)
+	}
+	u.applyAck(pe, h.ack)
+	switch h.typ {
+	case typeAck:
+		u.stats.AcksRecv++
+		return
+	case typeAckPing:
+		pe.needAck = true
+		pe.forceAck = true
+		return
+	}
+	if h.seq != pe.expected {
+		// Out-of-order or duplicate under go-back-N: drop, but make sure
+		// the sender learns our cumulative position again — it evidently
+		// missed our earlier acknowledgments.
+		u.stats.Duplicates++
+		pe.needAck = true
+		pe.forceAck = true
+		return
+	}
+	pe.expected++
+	if h.reqAck {
+		pe.needAck = true
+	}
+	u.dispatch(p, pe, h, msg[headerSize:])
+}
+
+// applyAck advances the transmit window to a cumulative ack. Progress
+// restarts the go-back-N timer for the messages still outstanding;
+// otherwise a long pipelined transfer would spuriously retransmit its
+// tail while earlier acknowledgments were still in flight.
+func (u *UAM) applyAck(pe *peer, ack uint8) {
+	adv := seqDiff(ack, pe.ackedTo)
+	if adv <= 0 || adv > pe.outstanding() {
+		return
+	}
+	pe.ackedTo = ack
+	if pe.outstanding() == 0 {
+		pe.deadline = 0
+	} else {
+		pe.deadline = u.ep.Host().Eng.Now() + u.cfg.RetransmitTimeout
+	}
+}
+
+func (u *UAM) dispatch(p *sim.Proc, pe *peer, h header, data []byte) {
+	switch h.typ {
+	case typeReq:
+		u.stats.ReqRecv++
+		fn := u.handlers[h.handler]
+		if fn == nil {
+			return
+		}
+		prev := u.replyTo
+		u.replyTo = pe
+		fn(u, p, pe.node, h.arg, data)
+		u.replyTo = prev
+	case typeReply:
+		u.stats.ReplyRecv++
+		fn := u.handlers[h.handler]
+		if fn == nil {
+			return
+		}
+		prevR := u.inReply
+		u.inReply = true
+		fn(u, p, pe.node, h.arg, data)
+		u.inReply = prevR
+	case typeStore:
+		u.stats.StoreSegs++
+		u.handleStore(p, pe, h, data)
+	case typeGetReq:
+		u.handleGetReq(p, pe, h, data)
+	case typeGetData:
+		u.stats.GetSegs++
+		u.handleGetData(p, pe, h, data)
+	}
+}
+
+// charge advances p by d (nil-safe, mirroring unet's convention).
+func charge(p *sim.Proc, d time.Duration) {
+	if p != nil && d > 0 {
+		p.Sleep(d)
+	}
+}

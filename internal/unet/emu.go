@@ -1,0 +1,260 @@
+package unet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"unet/internal/sim"
+)
+
+// Kernel-emulated U-Net endpoints (§3.5). Communication segments and
+// message queues are scarce, and many applications do not need full U-Net
+// performance, so the kernel multiplexes any number of emulated endpoints
+// onto a single real endpoint that it owns. To the application the API
+// mirrors a regular endpoint, but every operation is a system call and the
+// data crosses an extra kernel copy — exactly the performance difference
+// the paper predicts, demonstrated by BenchmarkAblation in the harness.
+
+// emuHeaderSize prefixes each emulated message: destination and source
+// emulated-endpoint identifiers.
+const emuHeaderSize = 4
+
+// emuMTU bounds one emulated message (the kernel's staging buffers are a
+// shared resource).
+const emuMTU = 8192
+
+// EmuChannelID names a channel registered on an emulated endpoint.
+type EmuChannelID int
+
+// EmuRecv is one message delivered to an emulated endpoint.
+type EmuRecv struct {
+	Channel EmuChannelID
+	Data    []byte
+}
+
+type emuChan struct {
+	kch      ChannelID // kernel endpoint channel toward the peer host
+	remoteID uint16
+	open     bool
+}
+
+// EmuEndpoint is a kernel-emulated U-Net endpoint (§3.5).
+type EmuEndpoint struct {
+	k     *Kernel
+	owner *Process
+	id    uint16
+	chans []emuChan
+	rx    *sim.FIFO[EmuRecv]
+	drops uint64
+}
+
+type emuState struct {
+	proc   *Process
+	kep    *Endpoint
+	emus   map[uint16]*EmuEndpoint
+	nextID uint16
+	peerCh map[*Host]ChannelID
+	txBase int // staging region base in the kernel segment
+	txSize int
+	txNext int
+}
+
+// EnableEmulation sets up the kernel's real endpoint and service process.
+// Idempotent.
+func (k *Kernel) EnableEmulation(p *sim.Proc) error {
+	if k.emu != nil {
+		return nil
+	}
+	owner := k.host.NewProcess("kernel")
+	cfg := EndpointConfig{
+		SegmentSize:  512 << 10,
+		RecvBufSize:  4160,
+		SendQueueCap: 16,
+		RecvQueueCap: 128,
+		FreeQueueCap: 128,
+	}
+	// The kernel is not subject to its own user-process limits.
+	saved := k.limits
+	k.limits = Limits{MaxEndpoints: saved.MaxEndpoints + 1, MaxSegmentBytes: cfg.SegmentSize, MaxQueueCap: 1024}
+	kep, err := k.CreateEndpoint(p, owner, cfg)
+	k.limits = saved
+	if err != nil {
+		return fmt.Errorf("unet: enabling emulation: %w", err)
+	}
+	st := &emuState{
+		proc:   owner,
+		kep:    kep,
+		emus:   make(map[uint16]*EmuEndpoint),
+		peerCh: make(map[*Host]ChannelID),
+		txBase: 0,
+		txSize: 160 << 10,
+	}
+	// Receive buffers occupy the rest of the kernel segment.
+	if _, err := kep.ProvideRecvBuffers(p, st.txSize, 64); err != nil {
+		return err
+	}
+	k.emu = st
+	k.host.Spawn("kernel-emu", k.emuService)
+	return nil
+}
+
+// emuService is the kernel process that demultiplexes arrivals on the real
+// endpoint to emulated endpoints.
+func (k *Kernel) emuService(p *sim.Proc) {
+	st := k.emu
+	for {
+		rd := st.kep.Recv(p)
+		data := k.emuGather(p, rd)
+		if len(data) < emuHeaderSize {
+			continue
+		}
+		dst := binary.BigEndian.Uint16(data[0:2])
+		src := binary.BigEndian.Uint16(data[2:4])
+		ee, ok := st.emus[dst]
+		if !ok {
+			continue
+		}
+		ch, ok := ee.chanFrom(rd.Channel, src)
+		if !ok {
+			continue
+		}
+		if !ee.rx.TryPut(EmuRecv{Channel: ch, Data: data[emuHeaderSize:]}) {
+			ee.drops++
+		}
+	}
+}
+
+// emuGather copies a received message out of the kernel endpoint's buffers
+// (the extra kernel copy emulation costs) and recycles the buffers.
+func (k *Kernel) emuGather(p *sim.Proc, rd RecvDesc) []byte {
+	st := k.emu
+	if rd.Inline != nil {
+		return append([]byte(nil), rd.Inline...)
+	}
+	out := make([]byte, rd.Length)
+	n := 0
+	for _, off := range rd.Buffers {
+		chunk := rd.Length - n
+		if chunk > st.kep.cfg.RecvBufSize {
+			chunk = st.kep.cfg.RecvBufSize
+		}
+		if err := st.kep.ReadBuf(p, off, out[n:n+chunk]); err != nil {
+			panic(err)
+		}
+		n += chunk
+		if err := st.kep.PushFree(p, off); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// chanFrom maps (kernel channel, remote emu id) back to the local channel.
+func (ee *EmuEndpoint) chanFrom(kch ChannelID, remote uint16) (EmuChannelID, bool) {
+	for i, c := range ee.chans {
+		if c.open && c.kch == kch && c.remoteID == remote {
+			return EmuChannelID(i), true
+		}
+	}
+	return 0, false
+}
+
+// CreateEmuEndpoint allocates an emulated endpoint for owner. Unlike real
+// endpoints these consume no NI resources (§3.5), so no device or segment
+// limits apply.
+func (k *Kernel) CreateEmuEndpoint(p *sim.Proc, owner *Process) (*EmuEndpoint, error) {
+	charge(p, k.host.Params.Syscall)
+	if k.emu == nil {
+		return nil, fmt.Errorf("unet: emulation not enabled on host %s", k.host.Name)
+	}
+	st := k.emu
+	st.nextID++
+	ee := &EmuEndpoint{k: k, owner: owner, id: st.nextID, rx: sim.NewFIFO[EmuRecv](256)}
+	st.emus[ee.id] = ee
+	return ee, nil
+}
+
+// EmuConnect builds a full-duplex channel between two emulated endpoints,
+// reusing (or creating) the single kernel-to-kernel channel between the two
+// hosts.
+func EmuConnect(p *sim.Proc, m *Manager, a, b *EmuEndpoint) (EmuChannelID, EmuChannelID, error) {
+	ka, kb := a.k, b.k
+	if ka.emu == nil || kb.emu == nil {
+		return 0, 0, fmt.Errorf("unet: emulation not enabled")
+	}
+	kchA, okA := ka.emu.peerCh[kb.host]
+	kchB, okB := kb.emu.peerCh[ka.host]
+	if !okA || !okB {
+		ch, err := m.Connect(p, ka.emu.kep, kb.emu.kep)
+		if err != nil {
+			return 0, 0, err
+		}
+		kchA, kchB = ch.ChanA, ch.ChanB
+		ka.emu.peerCh[kb.host] = kchA
+		kb.emu.peerCh[ka.host] = kchB
+	}
+	a.chans = append(a.chans, emuChan{kch: kchA, remoteID: b.id, open: true})
+	b.chans = append(b.chans, emuChan{kch: kchB, remoteID: a.id, open: true})
+	return EmuChannelID(len(a.chans) - 1), EmuChannelID(len(b.chans) - 1), nil
+}
+
+// Send transmits data on ch. The call traps into the kernel, copies the
+// message into a kernel staging buffer and queues it on the kernel's real
+// endpoint — the §3.5 cost structure.
+func (ee *EmuEndpoint) Send(p *sim.Proc, ch EmuChannelID, data []byte) error {
+	k := ee.k
+	st := k.emu
+	if int(ch) < 0 || int(ch) >= len(ee.chans) || !ee.chans[ch].open {
+		return ErrNoChannel
+	}
+	if len(data) > emuMTU {
+		return ErrTooLong
+	}
+	charge(p, k.host.Params.Syscall)
+	c := ee.chans[ch]
+	pkt := make([]byte, emuHeaderSize+len(data))
+	binary.BigEndian.PutUint16(pkt[0:2], c.remoteID)
+	binary.BigEndian.PutUint16(pkt[2:4], ee.id)
+	copy(pkt[emuHeaderSize:], data)
+	off := st.allocTx(len(pkt))
+	if err := st.kep.Compose(p, off, pkt); err != nil {
+		return err
+	}
+	return st.kep.SendBlock(p, SendDesc{Channel: c.kch, Offset: off, Length: len(pkt)})
+}
+
+// allocTx bump-allocates a staging buffer in the kernel segment. The
+// region is large enough that a buffer cannot still be queued by the time
+// it is reused (send queue cap × MTU < region size).
+func (st *emuState) allocTx(n int) int {
+	if st.txNext+n > st.txBase+st.txSize {
+		st.txNext = st.txBase
+	}
+	off := st.txNext
+	st.txNext += n
+	return off
+}
+
+// Recv blocks for the next message; the data has already been copied into
+// kernel memory, and the final copy to the application plus the trap are
+// charged here.
+func (ee *EmuEndpoint) Recv(p *sim.Proc) EmuRecv {
+	r := ee.rx.Get(p)
+	charge(p, ee.k.host.Params.Syscall)
+	charge(p, ee.k.host.Params.CopyCost(len(r.Data)))
+	return r
+}
+
+// PollRecv checks for a message without blocking (still a trap).
+func (ee *EmuEndpoint) PollRecv(p *sim.Proc) (EmuRecv, bool) {
+	charge(p, ee.k.host.Params.Syscall)
+	r, ok := ee.rx.TryGet()
+	if ok {
+		charge(p, ee.k.host.Params.CopyCost(len(r.Data)))
+	}
+	return r, ok
+}
+
+// Drops reports messages discarded because the emulated receive queue was
+// full.
+func (ee *EmuEndpoint) Drops() uint64 { return ee.drops }

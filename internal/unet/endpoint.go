@@ -1,0 +1,435 @@
+package unet
+
+import (
+	"time"
+
+	"unet/internal/atm"
+	"unet/internal/sim"
+)
+
+// EndpointConfig sizes an endpoint's resources. The base-level architecture
+// treats communication segments as a limited resource with a bounded size
+// (§3.4); the kernel enforces Limits against these values.
+type EndpointConfig struct {
+	// SegmentSize is the communication segment size in bytes.
+	SegmentSize int
+	// RecvBufSize is the fixed size of receive buffers provided through
+	// the free queue. UAM uses 4160-byte buffers (§5.2).
+	RecvBufSize int
+	// SendQueueCap, RecvQueueCap and FreeQueueCap bound the three message
+	// queues.
+	SendQueueCap int
+	RecvQueueCap int
+	FreeQueueCap int
+	// DirectAccess permits senders to deposit data at offsets in this
+	// segment (direct-access U-Net, §3.6).
+	DirectAccess bool
+}
+
+// DefaultEndpointConfig returns the sizing used by the prototype layers.
+func DefaultEndpointConfig() EndpointConfig {
+	return EndpointConfig{
+		SegmentSize:  256 << 10,
+		RecvBufSize:  4160,
+		SendQueueCap: 64,
+		RecvQueueCap: 64,
+		FreeQueueCap: 256,
+	}
+}
+
+func (c *EndpointConfig) fillDefaults() {
+	d := DefaultEndpointConfig()
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = d.SegmentSize
+	}
+	if c.RecvBufSize <= 0 {
+		c.RecvBufSize = d.RecvBufSize
+	}
+	if c.SendQueueCap <= 0 {
+		c.SendQueueCap = d.SendQueueCap
+	}
+	if c.RecvQueueCap <= 0 {
+		c.RecvQueueCap = d.RecvQueueCap
+	}
+	if c.FreeQueueCap <= 0 {
+		c.FreeQueueCap = d.FreeQueueCap
+	}
+}
+
+// UpcallMode selects the receive-queue condition that triggers the upcall
+// (§3.1): non-empty for event-driven reception, almost-full to react before
+// the queue overflows.
+type UpcallMode int
+
+// Upcall trigger conditions.
+const (
+	UpcallNone UpcallMode = iota
+	UpcallNonEmpty
+	UpcallAlmostFull
+)
+
+type chanInfo struct {
+	tx, rx atm.VCI
+	open   bool
+}
+
+// Endpoint is an application's handle into the network (§3.1): a
+// communication segment plus send, receive and free queues. All methods
+// must be called from simulation context; methods taking a *sim.Proc
+// charge that process the host CPU cost of the operation (a nil proc
+// performs the operation free of charge, for set-up code).
+type Endpoint struct {
+	host  *Host
+	owner *Process
+	cfg   EndpointConfig
+	seg   []byte
+
+	sendQ *sim.FIFO[SendDesc]
+	recvQ *sim.FIFO[RecvDesc]
+	freeQ *sim.FIFO[int]
+
+	chans []chanInfo
+
+	txSpace sim.Cond // signaled when the NI consumes a send descriptor
+
+	upcall         func()
+	upcallMode     UpcallMode
+	upcallSignal   bool
+	upcallDisabled bool
+	upcallPending  bool
+
+	stats  EndpointStats
+	closed bool
+}
+
+func newEndpoint(owner *Process, cfg EndpointConfig) *Endpoint {
+	return &Endpoint{
+		host:  owner.host,
+		owner: owner,
+		cfg:   cfg,
+		seg:   make([]byte, cfg.SegmentSize),
+		sendQ: sim.NewFIFO[SendDesc](cfg.SendQueueCap),
+		recvQ: sim.NewFIFO[RecvDesc](cfg.RecvQueueCap),
+		freeQ: sim.NewFIFO[int](cfg.FreeQueueCap),
+	}
+}
+
+// Host returns the endpoint's host.
+func (ep *Endpoint) Host() *Host { return ep.host }
+
+// Owner returns the owning process.
+func (ep *Endpoint) Owner() *Process { return ep.owner }
+
+// Config returns the endpoint's configuration.
+func (ep *Endpoint) Config() EndpointConfig { return ep.cfg }
+
+// Stats returns a snapshot of the endpoint counters.
+func (ep *Endpoint) Stats() EndpointStats { return ep.stats }
+
+// Closed reports whether the endpoint has been destroyed.
+func (ep *Endpoint) Closed() bool { return ep.closed }
+
+// Segment exposes the communication segment. Holding the *Endpoint is the
+// access capability; the segment is never shared between processes.
+func (ep *Endpoint) Segment() []byte { return ep.seg }
+
+func (ep *Endpoint) checkRange(off, n int) error {
+	if off < 0 || n < 0 || off+n > len(ep.seg) {
+		return ErrBadOffset
+	}
+	return nil
+}
+
+// Compose copies data into the segment at off, charging the copy cost.
+// This is the application-to-segment copy that base-level U-Net ("zero
+// copy" in the vernacular, §3.3) cannot avoid.
+func (ep *Endpoint) Compose(p *sim.Proc, off int, data []byte) error {
+	if err := ep.checkRange(off, len(data)); err != nil {
+		return err
+	}
+	charge(p, ep.host.Params.CopyCost(len(data)))
+	copy(ep.seg[off:], data)
+	return nil
+}
+
+// ReadBuf copies n bytes out of the segment at off into buf, charging the
+// copy cost. True zero copy (§3.4) is reading via Segment() directly
+// without this call, when the data needs no longer-term home.
+func (ep *Endpoint) ReadBuf(p *sim.Proc, off int, buf []byte) error {
+	if err := ep.checkRange(off, len(buf)); err != nil {
+		return err
+	}
+	charge(p, ep.host.Params.CopyCost(len(buf)))
+	copy(buf, ep.seg[off:off+len(buf)])
+	return nil
+}
+
+// Send pushes a message descriptor onto the send queue (§3.1). It
+// validates the channel and buffer bounds, charges the descriptor-push
+// cost, and returns ErrSendQueueFull when the NI is backed up, the
+// back-pressure the architecture specifies.
+func (ep *Endpoint) Send(p *sim.Proc, d SendDesc) error {
+	if ep.closed {
+		return ErrClosed
+	}
+	dev := ep.host.dev
+	if dev == nil {
+		return ErrNoDevice
+	}
+	if int(d.Channel) < 0 || int(d.Channel) >= len(ep.chans) || !ep.chans[d.Channel].open {
+		return ErrNoChannel
+	}
+	if d.Inline != nil {
+		d.Length = len(d.Inline)
+		if d.Length > dev.SingleCellMax() {
+			// Inline data too large for the fast path: stage it in the
+			// segment? No — the architecture makes buffer management the
+			// process's job, so reject rather than hide a copy.
+			return ErrTooLong
+		}
+	} else if err := ep.checkRange(d.Offset, d.Length); err != nil {
+		return err
+	}
+	if d.Length > dev.MTU() {
+		return ErrTooLong
+	}
+	charge(p, ep.host.Params.DescriptorPush)
+	if !ep.sendQ.TryPut(d) {
+		return ErrSendQueueFull
+	}
+	dev.KickTx(ep)
+	return nil
+}
+
+// SendBlock is Send that waits out back-pressure instead of failing.
+func (ep *Endpoint) SendBlock(p *sim.Proc, d SendDesc) error {
+	for {
+		err := ep.Send(p, d)
+		if err != ErrSendQueueFull {
+			return err
+		}
+		p.Wait(&ep.txSpace)
+	}
+}
+
+// SendFree reports how many descriptors fit in the send queue right now.
+func (ep *Endpoint) SendFree() int { return ep.cfg.SendQueueCap - ep.sendQ.Len() }
+
+// PollRecv checks the receive queue once (§3.1 polling reception),
+// charging the poll cost.
+func (ep *Endpoint) PollRecv(p *sim.Proc) (RecvDesc, bool) {
+	charge(p, ep.host.Params.Poll)
+	return ep.recvQ.TryGet()
+}
+
+// RecvPending reports how many descriptors wait in the receive queue,
+// without charging a poll (used by layers that just drained it).
+func (ep *Endpoint) RecvPending() int { return ep.recvQ.Len() }
+
+// Recv blocks until a message descriptor is available. It models the
+// polling receive loop the paper's measurements use (§4.2.3): the process
+// is idle until arrival and pays one poll to pick the descriptor up. For
+// the cost of UNIX-signal-driven reception use SetUpcall with signal=true;
+// for an explicit select(2)-style block, RecvSelect.
+func (ep *Endpoint) Recv(p *sim.Proc) RecvDesc {
+	for {
+		if rd, ok := ep.recvQ.TryGet(); ok {
+			return rd
+		}
+		p.Wait(ep.recvQ.NotEmpty())
+		charge(p, ep.host.Params.Poll)
+	}
+}
+
+// RecvSelect blocks like Recv but charges the kernel select(2) wake-up
+// cost, modeling a process that sleeps in the kernel instead of polling.
+func (ep *Endpoint) RecvSelect(p *sim.Proc) RecvDesc {
+	for {
+		if rd, ok := ep.recvQ.TryGet(); ok {
+			return rd
+		}
+		p.Wait(ep.recvQ.NotEmpty())
+		charge(p, ep.host.Params.SelectWake)
+	}
+}
+
+// RecvTimeout is Recv with a deadline; ok is false on timeout.
+func (ep *Endpoint) RecvTimeout(p *sim.Proc, d time.Duration) (RecvDesc, bool) {
+	deadline := p.Now() + d
+	for {
+		if rd, ok := ep.recvQ.TryGet(); ok {
+			return rd, true
+		}
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return RecvDesc{}, false
+		}
+		if p.WaitTimeout(ep.recvQ.NotEmpty(), remain) {
+			charge(p, ep.host.Params.Poll)
+		}
+	}
+}
+
+// PushFree returns a receive buffer at segment offset off to the NI
+// through the free queue (§3.1). Buffers must lie in the segment and are
+// RecvBufSize bytes long.
+func (ep *Endpoint) PushFree(p *sim.Proc, off int) error {
+	if err := ep.checkRange(off, ep.cfg.RecvBufSize); err != nil {
+		return err
+	}
+	charge(p, ep.host.Params.FreePush)
+	if !ep.freeQ.TryPut(off) {
+		return ErrLimit
+	}
+	return nil
+}
+
+// FreePending reports how many buffers are queued for the NI.
+func (ep *Endpoint) FreePending() int { return ep.freeQ.Len() }
+
+// ProvideRecvBuffers carves n receive buffers from the segment starting at
+// base and pushes them all onto the free queue. Convenience for set-up
+// code; returns the offset just past the last buffer.
+func (ep *Endpoint) ProvideRecvBuffers(p *sim.Proc, base, n int) (int, error) {
+	off := base
+	for i := 0; i < n; i++ {
+		if err := ep.PushFree(p, off); err != nil {
+			return off, err
+		}
+		off += ep.cfg.RecvBufSize
+	}
+	return off, nil
+}
+
+// SetUpcall registers fn to run when the receive queue satisfies mode
+// (§3.1). When signal is true the dispatch charges the UNIX-signal
+// delivery latency; otherwise it models a cheap user-level interrupt.
+// U-Net does not specify the upcall's nature, so fn runs in engine context
+// and typically signals or spawns a handler process.
+func (ep *Endpoint) SetUpcall(mode UpcallMode, signal bool, fn func()) {
+	ep.upcallMode = mode
+	ep.upcallSignal = signal
+	ep.upcall = fn
+}
+
+// DisableUpcalls enters a critical section atomic w.r.t. message reception
+// (§3.1). Cheap: it is a flag write.
+func (ep *Endpoint) DisableUpcalls() { ep.upcallDisabled = true }
+
+// EnableUpcalls leaves the critical section, firing a deferred upcall if
+// the trigger condition occurred meanwhile.
+func (ep *Endpoint) EnableUpcalls() {
+	ep.upcallDisabled = false
+	if ep.upcallPending {
+		ep.upcallPending = false
+		ep.fireUpcall()
+	}
+}
+
+func (ep *Endpoint) fireUpcall() {
+	if ep.upcall == nil || ep.upcallMode == UpcallNone {
+		return
+	}
+	if ep.upcallDisabled {
+		ep.upcallPending = true
+		return
+	}
+	delay := time.Duration(0)
+	if ep.upcallSignal {
+		delay = ep.host.Params.SignalDelivery
+	}
+	fn := ep.upcall
+	ep.host.Eng.After(delay, fn)
+}
+
+func (ep *Endpoint) maybeUpcall() {
+	switch ep.upcallMode {
+	case UpcallNonEmpty:
+		if ep.recvQ.Len() == 1 {
+			ep.fireUpcall()
+		}
+	case UpcallAlmostFull:
+		if ep.recvQ.Len() >= ep.cfg.RecvQueueCap-1 {
+			ep.fireUpcall()
+		}
+	}
+}
+
+// registerChannel is called by the Manager during channel set-up.
+func (ep *Endpoint) registerChannel(tx, rx atm.VCI) ChannelID {
+	ep.chans = append(ep.chans, chanInfo{tx: tx, rx: rx, open: true})
+	return ChannelID(len(ep.chans) - 1)
+}
+
+func (ep *Endpoint) closeChannel(ch ChannelID) {
+	if int(ch) >= 0 && int(ch) < len(ep.chans) {
+		ep.chans[ch].open = false
+	}
+}
+
+// ChannelVCIs reports the tag pair of a registered channel.
+func (ep *Endpoint) ChannelVCIs(ch ChannelID) (tx, rx atm.VCI, ok bool) {
+	if int(ch) < 0 || int(ch) >= len(ep.chans) || !ep.chans[ch].open {
+		return 0, 0, false
+	}
+	ci := ep.chans[ch]
+	return ci.tx, ci.rx, true
+}
+
+// --- Device-facing interface (the NI side of the queues) ---
+
+// DevPopSend removes the next send descriptor for the NI, releasing one
+// unit of back-pressure.
+func (ep *Endpoint) DevPopSend() (SendDesc, bool) {
+	d, ok := ep.sendQ.TryGet()
+	if ok {
+		ep.stats.Sent++
+		ep.txSpace.Broadcast()
+	}
+	return d, ok
+}
+
+// DevSendPending reports whether send descriptors are waiting.
+func (ep *Endpoint) DevSendPending() bool { return ep.sendQ.Len() > 0 }
+
+// DevPopFree takes a receive buffer offset off the free queue.
+func (ep *Endpoint) DevPopFree() (int, bool) { return ep.freeQ.TryGet() }
+
+// DevDeliver pushes an arrival descriptor onto the receive queue,
+// accounting a drop when the queue is full, and triggers the upcall
+// machinery.
+func (ep *Endpoint) DevDeliver(rd RecvDesc) bool {
+	if !ep.recvQ.TryPut(rd) {
+		ep.stats.DroppedQueueFull++
+		return false
+	}
+	ep.stats.Received++
+	ep.maybeUpcall()
+	return true
+}
+
+// DevDropNoBuffer records an arrival discarded for want of a free buffer.
+func (ep *Endpoint) DevDropNoBuffer() { ep.stats.DroppedNoBuffer++ }
+
+// DevDropReassembly records an arrival discarded by AAL5 validation.
+func (ep *Endpoint) DevDropReassembly() { ep.stats.DroppedReassembly++ }
+
+// DevWriteSegment is the NI's DMA into the communication segment. Bounds
+// are clipped: hardware writes through a validated map, so out-of-range
+// indicates a model bug and panics.
+func (ep *Endpoint) DevWriteSegment(off int, data []byte) {
+	if err := ep.checkRange(off, len(data)); err != nil {
+		panic("unet: device DMA outside segment")
+	}
+	copy(ep.seg[off:], data)
+}
+
+// DevReadSegment is the NI's DMA out of the communication segment.
+func (ep *Endpoint) DevReadSegment(off, n int) []byte {
+	if err := ep.checkRange(off, n); err != nil {
+		panic("unet: device DMA outside segment")
+	}
+	out := make([]byte, n)
+	copy(out, ep.seg[off:])
+	return out
+}

@@ -1,0 +1,26 @@
+# U-Net simulation repo. Tier-1 verification is `make check`; `make bench`
+# is the PR performance gate (tier-1 + race + benchmarks + BENCH_PR1.json).
+
+GO ?= go
+
+.PHONY: all build check test race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+check: build test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/...
+	GOMAXPROCS=4 $(GO) test -race -run 'Golden' ./internal/experiments/
+
+bench:
+	sh scripts/bench.sh BENCH_PR1.json
+
+clean:
+	rm -f BENCH_PR1.json BENCH_PR1.txt

@@ -81,14 +81,25 @@ func BenchmarkFig3_RTT(b *testing.B) {
 	b.ReportMetric(multi, "µs/48B")
 }
 
-// BenchmarkFig4_Bandwidth sweeps the bandwidth curve (paper Figure 4:
-// saturation from ~800 B, UAM 14.8 MB/s at 4 KB with the 4164-byte dip).
+// BenchmarkFig4_Bandwidth regenerates the full bandwidth sweep — all 18
+// message sizes across the AAL-5 limit, raw U-Net, UAM store and UAM get
+// series (paper Figure 4: saturation from ~800 B, UAM 14.8 MB/s at 4 KB
+// with the 4164-byte dip). This is the repo's end-to-end wall-clock
+// benchmark: it exercises the pooled event engine, cell-train batching and
+// the parallel sweep pool together.
 func BenchmarkFig4_Bandwidth(b *testing.B) {
 	var raw800, store4k, store4164 float64
 	for i := 0; i < b.N; i++ {
-		raw800 = experiments.RawBandwidth(nic.SBA200Params(), 800, 200).MBps()
-		store4k = experiments.UAMStoreBandwidth(uam.Config{}, 4096, 120)
-		store4164 = experiments.UAMStoreBandwidth(uam.Config{}, 4164, 120)
+		f := experiments.Fig4(120)
+		for _, s := range f.Series {
+			switch s.Name {
+			case "Raw U-Net":
+				raw800, _ = s.At(800)
+			case "UAM store":
+				store4k, _ = s.At(4096)
+				store4164, _ = s.At(4164)
+			}
+		}
 	}
 	b.ReportMetric(raw800, "MB/s@800B")
 	b.ReportMetric(store4k, "MB/s@4K")

@@ -24,12 +24,14 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("experiment", "all", "comma-separated experiment ids (table1..3, fig3..9, all)")
-		paper   = flag.Bool("paper", false, "use the paper's full Split-C problem sizes (slower)")
-		rounds  = flag.Int("rounds", 40, "ping-pong rounds per latency point")
-		count   = flag.Int("count", 200, "messages per bandwidth point")
+		expFlag  = flag.String("experiment", "all", "comma-separated experiment ids (table1..3, fig3..9, all)")
+		paper    = flag.Bool("paper", false, "use the paper's full Split-C problem sizes (slower)")
+		rounds   = flag.Int("rounds", 40, "ping-pong rounds per latency point")
+		count    = flag.Int("count", 200, "messages per bandwidth point")
+		parallel = flag.Int("parallel", 0, "sweep-point workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	)
 	flag.Parse()
+	experiments.MaxParallel = *parallel
 
 	sc := experiments.QuickScale()
 	if *paper {

@@ -24,6 +24,14 @@ var (
 // CPI=0, 16-bit length, CRC-32) and the end-of-PDU mark. Segment panics if
 // payload exceeds MaxPDU; callers are expected to enforce their MTU first.
 func Segment(vci VCI, payload []byte) []Cell {
+	return SegmentAppend(nil, vci, payload)
+}
+
+// SegmentAppend is Segment writing into dst, which it extends and returns
+// (like append). Cell payloads are assembled in place — no intermediate PDU
+// staging buffer — so a caller that recycles dst across messages segments
+// with zero allocations in steady state.
+func SegmentAppend(dst []Cell, vci VCI, payload []byte) []Cell {
 	if len(payload) > MaxPDU {
 		panic(fmt.Sprintf("atm: Segment called with %d-byte payload", len(payload)))
 	}
@@ -31,19 +39,32 @@ func Segment(vci VCI, payload []byte) []Cell {
 	if ncells == 0 {
 		ncells = 1 // a zero-byte PDU still occupies one cell (trailer only)
 	}
-	pdu := make([]byte, ncells*PayloadSize)
-	copy(pdu, payload)
-	binary.BigEndian.PutUint16(pdu[len(pdu)-4-2:], uint16(len(payload)))
-	crc := CRC32(pdu[:len(pdu)-4])
-	binary.BigEndian.PutUint32(pdu[len(pdu)-4:], crc)
-
-	cells := make([]Cell, ncells)
-	for i := range cells {
-		cells[i].VCI = vci
-		copy(cells[i].Payload[:], pdu[i*PayloadSize:])
+	base := len(dst)
+	for cap(dst)-base < ncells {
+		dst = append(dst[:cap(dst)], Cell{})
 	}
-	cells[ncells-1].EOP = true
-	return cells
+	dst = dst[:base+ncells]
+
+	crc := uint32(0xFFFFFFFF)
+	rest := payload
+	for i := 0; i < ncells; i++ {
+		c := &dst[base+i]
+		c.VCI = vci
+		c.EOP = false
+		c.Direct = false
+		n := copy(c.Payload[:], rest)
+		rest = rest[n:]
+		clear(c.Payload[n:]) // zero padding (and trailer space, filled below)
+		if i < ncells-1 {
+			crc = CRC32Update(crc, c.Payload[:])
+		}
+	}
+	last := &dst[base+ncells-1]
+	last.EOP = true
+	binary.BigEndian.PutUint16(last.Payload[PayloadSize-6:], uint16(len(payload)))
+	crc = CRC32Update(crc, last.Payload[:PayloadSize-4]) ^ 0xFFFFFFFF
+	binary.BigEndian.PutUint32(last.Payload[PayloadSize-4:], crc)
+	return dst
 }
 
 // Reassembler accumulates the cells of one AAL5 PDU on a single VCI.
@@ -68,6 +89,10 @@ func (r *Reassembler) Reset() {
 // the trailer and returns the payload; otherwise it returns (nil, nil).
 // On validation failure the partial state is discarded and an error
 // describing the corruption is returned.
+//
+// The returned payload aliases the reassembler's internal buffer and is
+// valid only until the next Add or Reset on this reassembler; callers that
+// retain it (rather than scattering it into their own buffers) must copy.
 func (r *Reassembler) Add(c Cell) ([]byte, error) {
 	r.buf = append(r.buf, c.Payload[:]...)
 	r.cells++
@@ -84,7 +109,5 @@ func (r *Reassembler) Add(c Cell) ([]byte, error) {
 	if got := CRC32(pdu[:len(pdu)-4]); got != want {
 		return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadCRC, got, want)
 	}
-	out := make([]byte, n)
-	copy(out, pdu[:n])
-	return out, nil
+	return pdu[:n:n], nil
 }

@@ -23,12 +23,18 @@ func Fig3(rounds int) *stats.Figure {
 	raw := &stats.Series{Name: "Raw U-Net"}
 	am := &stats.Series{Name: "UAM"}
 	xfer := &stats.Series{Name: "UAM xfer"}
-	for _, n := range Fig3Sizes {
-		raw.Add(float64(n), stats.US(RawRTT(nic.SBA200Params(), n, rounds)))
+	pts := make([]struct{ raw, am float64 }, len(Fig3Sizes))
+	ParallelPoints(len(Fig3Sizes), func(i int) {
+		n := Fig3Sizes[i]
+		pts[i].raw = stats.US(RawRTT(nic.SBA200Params(), n, rounds))
+		pts[i].am = stats.US(UAMPingPong(uam.Config{}, n, rounds))
+	})
+	for i, n := range Fig3Sizes {
+		raw.Add(float64(n), pts[i].raw)
 		if n <= 32 {
-			am.Add(float64(n), stats.US(UAMPingPong(uam.Config{}, n, rounds)))
+			am.Add(float64(n), pts[i].am)
 		} else {
-			xfer.Add(float64(n), stats.US(UAMPingPong(uam.Config{}, n, rounds)))
+			xfer.Add(float64(n), pts[i].am)
 		}
 	}
 	f.Series = []*stats.Series{raw, am, xfer}
@@ -54,11 +60,19 @@ func Fig4(count int) *stats.Figure {
 	raw := &stats.Series{Name: "Raw U-Net"}
 	store := &stats.Series{Name: "UAM store"}
 	get := &stats.Series{Name: "UAM get"}
-	for _, n := range Fig4Sizes {
-		limit.Add(float64(n), AAL5Limit(n))
-		raw.Add(float64(n), RawBandwidth(nic.SBA200Params(), n, count).MBps())
-		store.Add(float64(n), UAMStoreBandwidth(uam.Config{}, n, count))
-		get.Add(float64(n), UAMGetBandwidth(uam.Config{}, n, count/2))
+	pts := make([]struct{ limit, raw, store, get float64 }, len(Fig4Sizes))
+	ParallelPoints(len(Fig4Sizes), func(i int) {
+		n := Fig4Sizes[i]
+		pts[i].limit = AAL5Limit(n)
+		pts[i].raw = RawBandwidth(nic.SBA200Params(), n, count).MBps()
+		pts[i].store = UAMStoreBandwidth(uam.Config{}, n, count)
+		pts[i].get = UAMGetBandwidth(uam.Config{}, n, count/2)
+	})
+	for i, n := range Fig4Sizes {
+		limit.Add(float64(n), pts[i].limit)
+		raw.Add(float64(n), pts[i].raw)
+		store.Add(float64(n), pts[i].store)
+		get.Add(float64(n), pts[i].get)
 	}
 	f.Series = []*stats.Series{limit, raw, store, get}
 	return f
@@ -71,10 +85,15 @@ func Fig5(sc SplitCScale) *stats.Table {
 	t := stats.NewTable("Figure 5: Split-C benchmarks (execution time normalized to CM-5)")
 	t.Header("Benchmark", "CM-5", "U-Net ATM", "Meiko CS-2",
 		"ATM comm/comp", "CM-5 comm/comp")
-	for _, name := range SplitCBenchNames {
-		cm5 := RunSplitCBench(MachineCM5, name, sc)
-		atm := RunSplitCBench(MachineUNetATM, name, sc)
-		meiko := RunSplitCBench(MachineMeiko, name, sc)
+	pts := make([]struct{ cm5, atm, meiko BenchResult }, len(SplitCBenchNames))
+	ParallelPoints(len(SplitCBenchNames), func(i int) {
+		name := SplitCBenchNames[i]
+		pts[i].cm5 = RunSplitCBench(MachineCM5, name, sc)
+		pts[i].atm = RunSplitCBench(MachineUNetATM, name, sc)
+		pts[i].meiko = RunSplitCBench(MachineMeiko, name, sc)
+	})
+	for i, name := range SplitCBenchNames {
+		cm5, atm, meiko := pts[i].cm5, pts[i].atm, pts[i].meiko
 		base := float64(cm5.Time)
 		t.Row(name,
 			"1.00",
@@ -106,11 +125,19 @@ func Fig6(rounds int) *stats.Figure {
 	udpEth := &stats.Series{Name: "UDP Ethernet"}
 	tcpATM := &stats.Series{Name: "TCP ATM"}
 	tcpEth := &stats.Series{Name: "TCP Ethernet"}
-	for _, n := range Fig6Sizes {
-		udpATM.Add(float64(n), stats.US(UDPRTT(PathKernelATM, n, rounds)))
-		udpEth.Add(float64(n), stats.US(UDPRTT(PathKernelEth, n, rounds)))
-		tcpATM.Add(float64(n), stats.US(TCPRTT(PathKernelATM, n, rounds)))
-		tcpEth.Add(float64(n), stats.US(TCPRTT(PathKernelEth, n, rounds)))
+	pts := make([]struct{ ua, ue, ta, te float64 }, len(Fig6Sizes))
+	ParallelPoints(len(Fig6Sizes), func(i int) {
+		n := Fig6Sizes[i]
+		pts[i].ua = stats.US(UDPRTT(PathKernelATM, n, rounds))
+		pts[i].ue = stats.US(UDPRTT(PathKernelEth, n, rounds))
+		pts[i].ta = stats.US(TCPRTT(PathKernelATM, n, rounds))
+		pts[i].te = stats.US(TCPRTT(PathKernelEth, n, rounds))
+	})
+	for i, n := range Fig6Sizes {
+		udpATM.Add(float64(n), pts[i].ua)
+		udpEth.Add(float64(n), pts[i].ue)
+		tcpATM.Add(float64(n), pts[i].ta)
+		tcpEth.Add(float64(n), pts[i].te)
 	}
 	f.Series = []*stats.Series{udpATM, udpEth, tcpATM, tcpEth}
 	return f
@@ -132,12 +159,16 @@ func Fig7(count int) *stats.Figure {
 	unetRecv := &stats.Series{Name: "U-Net UDP"}
 	kSend := &stats.Series{Name: "kernel UDP (sender)"}
 	kRecv := &stats.Series{Name: "kernel UDP (received)"}
-	for _, n := range Fig7Sizes {
-		_, ur := UDPBandwidth(PathUNet, n, count)
-		unetRecv.Add(float64(n), ur)
-		ks, kr := UDPBandwidth(PathKernelATM, n, count)
-		kSend.Add(float64(n), ks)
-		kRecv.Add(float64(n), kr)
+	pts := make([]struct{ ur, ks, kr float64 }, len(Fig7Sizes))
+	ParallelPoints(len(Fig7Sizes), func(i int) {
+		n := Fig7Sizes[i]
+		_, pts[i].ur = UDPBandwidth(PathUNet, n, count)
+		pts[i].ks, pts[i].kr = UDPBandwidth(PathKernelATM, n, count)
+	})
+	for i, n := range Fig7Sizes {
+		unetRecv.Add(float64(n), pts[i].ur)
+		kSend.Add(float64(n), pts[i].ks)
+		kRecv.Add(float64(n), pts[i].kr)
 	}
 	f.Series = []*stats.Series{unetRecv, kSend, kRecv}
 	return f
@@ -159,12 +190,19 @@ func Fig8(total int) *stats.Figure {
 	un := &stats.Series{Name: "U-Net TCP (8K window)"}
 	k64 := &stats.Series{Name: "kernel TCP (64K window)"}
 	k52 := &stats.Series{Name: "kernel TCP (52K window)"}
-	for _, w := range Fig8Writes {
-		un.Add(float64(w), TCPBandwidth(PathUNet, 8<<10, w, total))
+	pts := make([]struct{ un, k64, k52 float64 }, len(Fig8Writes))
+	ParallelPoints(len(Fig8Writes), func(i int) {
+		w := Fig8Writes[i]
+		pts[i].un = TCPBandwidth(PathUNet, 8<<10, w, total)
 		// The kernel path needs a longer stream: its slow-start stalls on
 		// the 200 ms delayed-ack timer and only amortizes over megabytes.
-		k64.Add(float64(w), TCPBandwidth(PathKernelATM, 64<<10, w, 8*total))
-		k52.Add(float64(w), TCPBandwidth(PathKernelATM, 52<<10, w, 8*total))
+		pts[i].k64 = TCPBandwidth(PathKernelATM, 64<<10, w, 8*total)
+		pts[i].k52 = TCPBandwidth(PathKernelATM, 52<<10, w, 8*total)
+	})
+	for i, w := range Fig8Writes {
+		un.Add(float64(w), pts[i].un)
+		k64.Add(float64(w), pts[i].k64)
+		k52.Add(float64(w), pts[i].k52)
 	}
 	f.Series = []*stats.Series{un, k64, k52}
 	return f
@@ -186,11 +224,19 @@ func Fig9(rounds int) *stats.Figure {
 	ut := &stats.Series{Name: "U-Net TCP"}
 	ku := &stats.Series{Name: "kernel UDP"}
 	kt := &stats.Series{Name: "kernel TCP"}
-	for _, n := range Fig9Sizes {
-		uu.Add(float64(n), stats.US(UDPRTT(PathUNet, n, rounds)))
-		ut.Add(float64(n), stats.US(TCPRTT(PathUNet, n, rounds)))
-		ku.Add(float64(n), stats.US(UDPRTT(PathKernelATM, n, rounds)))
-		kt.Add(float64(n), stats.US(TCPRTT(PathKernelATM, n, rounds)))
+	pts := make([]struct{ uu, ut, ku, kt float64 }, len(Fig9Sizes))
+	ParallelPoints(len(Fig9Sizes), func(i int) {
+		n := Fig9Sizes[i]
+		pts[i].uu = stats.US(UDPRTT(PathUNet, n, rounds))
+		pts[i].ut = stats.US(TCPRTT(PathUNet, n, rounds))
+		pts[i].ku = stats.US(UDPRTT(PathKernelATM, n, rounds))
+		pts[i].kt = stats.US(TCPRTT(PathKernelATM, n, rounds))
+	})
+	for i, n := range Fig9Sizes {
+		uu.Add(float64(n), pts[i].uu)
+		ut.Add(float64(n), pts[i].ut)
+		ku.Add(float64(n), pts[i].ku)
+		kt.Add(float64(n), pts[i].kt)
 	}
 	f.Series = []*stats.Series{uu, ut, ku, kt}
 	return f

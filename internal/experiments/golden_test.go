@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoldenDeterminism is the determinism invariant behind every wall-clock
+// optimization in the fast path (pooled events, cell-train batching,
+// arithmetic NIC cost accounting, parallel sweeps): rendering Table 3 and
+// Figure 4 twice with the same seeds must produce byte-identical output —
+// same virtual times, same stats series, same formatting.
+func TestGoldenDeterminism(t *testing.T) {
+	render := func() string {
+		return fmt.Sprintf("%v\n%v", Table3(10, 60), Fig4(40))
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatalf("same-seed reruns diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if len(first) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestGoldenParallelMatchesSerial checks that the sweep worker pool is
+// invisible in the output: every parallelism level must produce the bytes
+// the serial sweep produces.
+func TestGoldenParallelMatchesSerial(t *testing.T) {
+	defer func(old int) { MaxParallel = old }(MaxParallel)
+
+	MaxParallel = 1
+	serial := fmt.Sprintf("%v\n%v", Fig4(40), Fig3(10))
+	for _, workers := range []int{2, 8} {
+		MaxParallel = workers
+		if got := fmt.Sprintf("%v\n%v", Fig4(40), Fig3(10)); got != serial {
+			t.Fatalf("parallel=%d diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}

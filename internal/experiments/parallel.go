@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxParallel caps how many sweep points run concurrently. 0 (the default)
+// means one worker per GOMAXPROCS; 1 forces serial execution. Sweep points
+// are embarrassingly parallel — every driver builds its own sim.Engine with
+// its own seed — and callers store results by point index, so the output is
+// bit-identical at any parallelism (the golden determinism test checks
+// serial against parallel).
+var MaxParallel = 0
+
+// ParallelPoints runs fn(0), …, fn(n-1) across a bounded worker pool and
+// returns when all have finished. fn must not touch state shared with other
+// points except its own result slot.
+func ParallelPoints(n int, fn func(i int)) {
+	workers := MaxParallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

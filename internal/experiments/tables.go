@@ -69,28 +69,38 @@ func Table3(rounds, streamCount int) *stats.Table {
 	t := stats.NewTable("Table 3: U-Net latency and bandwidth summary")
 	t.Header("Protocol", "Round-trip latency (µs)", "Bandwidth 4K packets (Mbit/s)")
 
-	add := func(name string, rtt time.Duration, mbps float64) {
-		t.Row(name, fmt.Sprintf("%.0f", stats.US(rtt)), fmt.Sprintf("%.0f", mbps*8))
+	type row struct {
+		name string
+		rtt  time.Duration
+		mbps float64
 	}
-
-	rawRTT := RawRTT(nic.SBA200Params(), 32, rounds)
-	rawBW := RawBandwidth(nic.SBA200Params(), 4096, streamCount)
-	add("Raw AAL5", rawRTT, rawBW.MBps())
-
-	amRTT := UAMPingPong(uam.Config{}, 16, rounds)
-	amBW := UAMStoreBandwidth(uam.Config{}, 4096, streamCount)
-	add("Active Msgs", amRTT, amBW)
-
-	udpRTT := UDPRTT(PathUNet, 4, rounds)
-	_, udpBW := UDPBandwidth(PathUNet, 4096, streamCount)
-	add("UDP", udpRTT, udpBW)
-
-	tcpRTT := TCPRTT(PathUNet, 4, rounds)
-	tcpBW := TCPBandwidth(PathUNet, 8<<10, 4096, 1<<20)
-	add("TCP", tcpRTT, tcpBW)
-
-	scRTT := SplitCRPCRTT(MachineUNetATM, rounds)
-	scBW := SplitCBulkBandwidth(MachineUNetATM, 4096, streamCount)
-	add("Split-C store", scRTT, scBW)
+	rows := make([]row, 5)
+	ParallelPoints(len(rows), func(i int) {
+		switch i {
+		case 0:
+			rows[i] = row{"Raw AAL5",
+				RawRTT(nic.SBA200Params(), 32, rounds),
+				RawBandwidth(nic.SBA200Params(), 4096, streamCount).MBps()}
+		case 1:
+			rows[i] = row{"Active Msgs",
+				UAMPingPong(uam.Config{}, 16, rounds),
+				UAMStoreBandwidth(uam.Config{}, 4096, streamCount)}
+		case 2:
+			rtt := UDPRTT(PathUNet, 4, rounds)
+			_, bw := UDPBandwidth(PathUNet, 4096, streamCount)
+			rows[i] = row{"UDP", rtt, bw}
+		case 3:
+			rows[i] = row{"TCP",
+				TCPRTT(PathUNet, 4, rounds),
+				TCPBandwidth(PathUNet, 8<<10, 4096, 1<<20)}
+		case 4:
+			rows[i] = row{"Split-C store",
+				SplitCRPCRTT(MachineUNetATM, rounds),
+				SplitCBulkBandwidth(MachineUNetATM, 4096, streamCount)}
+		}
+	})
+	for _, r := range rows {
+		t.Row(r.name, fmt.Sprintf("%.0f", stats.US(r.rtt)), fmt.Sprintf("%.0f", r.mbps*8))
+	}
 	return t
 }

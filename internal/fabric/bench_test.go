@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"unet/internal/atm"
+	"unet/internal/sim"
+)
+
+// trainCounter is a TrainSink that counts delivered cells.
+type trainCounter struct {
+	cells int
+	last  time.Duration
+}
+
+func (t *trainCounter) DeliverCell(c atm.Cell) { t.cells++ }
+
+func (t *trainCounter) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
+	t.cells += len(cells)
+	t.last = first + time.Duration(len(cells)-1)*spacing
+}
+
+// BenchmarkLink_CellThroughput streams back-to-back cells into a
+// train-capable sink: the steady state is one pooled delivery event per
+// burst and zero allocations per cell.
+func BenchmarkLink_CellThroughput(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	var sink trainCounter
+	l := NewLink(e, "bench", DefaultLinkParams(), &sink)
+	c := atm.Cell{VCI: 5}
+	b.ResetTimer()
+	const burst = 32
+	for i := 0; i < b.N; i += burst {
+		for j := 0; j < burst; j++ {
+			l.Send(c)
+		}
+		e.Run() // drain deliveries
+	}
+	b.StopTimer()
+	if sink.cells == 0 {
+		b.Fatal("no cells delivered")
+	}
+}
+
+// BenchmarkLink_CellThroughputPerCell is the same stream into a sink that
+// only understands single cells, costing one (pooled) event per cell.
+func BenchmarkLink_CellThroughputPerCell(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	n := 0
+	l := NewLink(e, "bench", DefaultLinkParams(), SinkFunc(func(c atm.Cell) { n++ }))
+	c := atm.Cell{VCI: 5}
+	b.ResetTimer()
+	const burst = 32
+	for i := 0; i < b.N; i += burst {
+		for j := 0; j < burst; j++ {
+			l.Send(c)
+		}
+		e.Run()
+	}
+	b.StopTimer()
+	if n == 0 {
+		b.Fatal("no cells delivered")
+	}
+}
+
+// BenchmarkSwitch_TrainForward pushes cell trains through an uplink, the
+// switch, and a downlink into a train-capable sink — the full fabric path
+// of a streaming experiment.
+func BenchmarkSwitch_TrainForward(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	var sink trainCounter
+	sw := NewSwitch(e, "sw", 2, DefaultSwitchLatency, DefaultLinkParams(),
+		[]CellSink{&trainCounter{}, &sink})
+	if err := sw.Route(0, 7, 1); err != nil {
+		b.Fatal(err)
+	}
+	up := NewLink(e, "up", DefaultLinkParams(), sw.PortSink(0))
+	c := atm.Cell{VCI: 7}
+	b.ResetTimer()
+	const burst = 32
+	for i := 0; i < b.N; i += burst {
+		for j := 0; j < burst; j++ {
+			up.Send(c)
+		}
+		e.Run()
+	}
+	b.StopTimer()
+	if sink.cells == 0 {
+		b.Fatal("no cells forwarded")
+	}
+}

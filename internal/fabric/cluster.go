@@ -21,19 +21,50 @@ type Cluster struct {
 	undeliv   uint64
 }
 
+// hostPort indirects a switch output port to the host sink registered
+// later with SetHostSink. It passes cell trains through when the host sink
+// understands them (the NIC models do) and otherwise falls back to
+// scheduling per-cell deliveries at the train's arrival times.
+type hostPort struct {
+	c *Cluster
+	i int
+}
+
+func (h hostPort) DeliverCell(cell atm.Cell) {
+	s := h.c.hostSinks[h.i]
+	if s == nil {
+		h.c.undeliv++
+		return
+	}
+	s.DeliverCell(cell)
+}
+
+func (h hostPort) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
+	s := h.c.hostSinks[h.i]
+	if s == nil {
+		h.c.undeliv += uint64(len(cells))
+		return
+	}
+	if ts, ok := s.(TrainSink); ok {
+		ts.DeliverTrain(cells, first, spacing)
+		return
+	}
+	// Per-cell fallback: cells[k] for k > 0 arrive in the future, so they
+	// must be re-scheduled (the train slice is only valid during this call,
+	// hence the per-cell copy into the closure).
+	for k := 1; k < len(cells); k++ {
+		cell := cells[k]
+		h.c.Engine.At(first+time.Duration(k)*spacing, func() { h.DeliverCell(cell) })
+	}
+	h.DeliverCell(cells[0])
+}
+
 // NewCluster builds an n-host star around one switch.
 func NewCluster(e *sim.Engine, name string, n int, lp LinkParams, switchLatency time.Duration) *Cluster {
 	c := &Cluster{Engine: e, hostSinks: make([]CellSink, n)}
 	sinks := make([]CellSink, n)
 	for i := 0; i < n; i++ {
-		i := i
-		sinks[i] = SinkFunc(func(cell atm.Cell) {
-			if c.hostSinks[i] == nil {
-				c.undeliv++
-				return
-			}
-			c.hostSinks[i].DeliverCell(cell)
-		})
+		sinks[i] = hostPort{c: c, i: i}
 	}
 	c.Switch = NewSwitch(e, name+".sw", n, switchLatency, lp, sinks)
 	for i := 0; i < n; i++ {

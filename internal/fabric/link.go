@@ -28,6 +28,23 @@ type CellSink interface {
 	DeliverCell(c atm.Cell)
 }
 
+// TrainSink is implemented by sinks that can absorb a whole back-to-back
+// cell train in one call. A link that finds consecutive in-flight cells
+// spaced exactly one CellTime apart delivers them together: DeliverTrain is
+// invoked at the arrival time of cells[0], and cells[i] is defined to arrive
+// at first + i*spacing. The sink must account for those arrival times
+// arithmetically (they are in the future for i > 0). The cells slice is
+// owned by the link and valid only for the duration of the call.
+//
+// The contract makes train delivery virtual-time-neutral: a sink that
+// processes cell i as if it had been handed over at first + i*spacing
+// reproduces the per-cell delivery schedule exactly, while the engine pays
+// for one event per train rather than one per cell.
+type TrainSink interface {
+	CellSink
+	DeliverTrain(cells []atm.Cell, first, spacing time.Duration)
+}
+
 // SinkFunc adapts a function to the CellSink interface.
 type SinkFunc func(c atm.Cell)
 
@@ -53,19 +70,39 @@ type LinkStats struct {
 	CellsLost uint64
 }
 
+// inflight is one cell on the wire, tagged with its arrival time at the far
+// end (last bit out of the transmitter plus propagation).
+type inflight struct {
+	c      atm.Cell
+	arrive time.Duration
+}
+
 // Link is a unidirectional serializing link: cells handed to Send depart in
 // order at line rate and are delivered to the sink one propagation delay
 // after their last bit leaves. The transmit queue is unbounded — the sender
 // (a NIC model) is responsible for pacing itself via Backlog, mirroring a
 // NIC output FIFO of finite depth.
+//
+// In-flight cells live in a ring ordered by arrival time (serialization
+// makes arrivals monotonic), drained by a single armed delivery event
+// instead of one event per cell. When the sink implements TrainSink, a
+// back-to-back run — consecutive arrivals spaced exactly CellTime — is
+// handed over in one call.
 type Link struct {
 	e        *sim.Engine
 	name     string
 	p        LinkParams
 	sink     CellSink
+	tsink    TrainSink // sink, if it also implements TrainSink
 	nextFree time.Duration
 	lossFn   func(atm.Cell) bool
 	stats    LinkStats
+
+	pend  []inflight // power-of-two ring of cells on the wire
+	head  int
+	n     int
+	armed bool
+	train []atm.Cell // scratch slice reused across DeliverTrain calls
 }
 
 // NewLink creates a link delivering into sink.
@@ -73,7 +110,9 @@ func NewLink(e *sim.Engine, name string, p LinkParams, sink CellSink) *Link {
 	if p.CellTime <= 0 {
 		p.CellTime = DefaultCellTime
 	}
-	return &Link{e: e, name: name, p: p, sink: sink}
+	l := &Link{e: e, name: name, p: p, sink: sink}
+	l.tsink, _ = sink.(TrainSink)
+	return l
 }
 
 // Params returns the link's timing parameters.
@@ -101,7 +140,19 @@ func (l *Link) SetLossRate(rate float64) {
 // its last bit leaves the transmitter. Delivery to the sink is scheduled
 // automatically.
 func (l *Link) Send(c atm.Cell) time.Duration {
-	start := l.e.Now()
+	return l.SendAt(c, l.e.Now())
+}
+
+// SendAt enqueues c as if Send had been called at virtual time start (which
+// must not precede the current time). It lets a sender that has computed a
+// whole departure schedule arithmetically — a NIC draining its transmit
+// FIFO, the switch forwarding a train — enqueue the cells in one callback
+// instead of sleeping between them: serialization against nextFree yields
+// exactly the departure times the per-cell calls would have produced.
+func (l *Link) SendAt(c atm.Cell, start time.Duration) time.Duration {
+	if now := l.e.Now(); start < now {
+		start = now
+	}
 	if l.nextFree > start {
 		start = l.nextFree
 	}
@@ -112,9 +163,79 @@ func (l *Link) Send(c atm.Cell) time.Duration {
 		l.stats.CellsLost++
 		return depart
 	}
-	l.e.At(depart+l.p.Propagation, func() { l.sink.DeliverCell(c) })
+	l.push(inflight{c: c, arrive: depart + l.p.Propagation})
+	if !l.armed {
+		l.armed = true
+		l.e.AtArg(l.pend[l.head].arrive, linkFire, l)
+	}
 	return depart
 }
+
+// push appends to the in-flight ring, growing it when full.
+func (l *Link) push(f inflight) {
+	if l.n == len(l.pend) {
+		grown := make([]inflight, max(4, 2*len(l.pend)))
+		for i := 0; i < l.n; i++ {
+			grown[i] = l.pend[(l.head+i)&(len(l.pend)-1)]
+		}
+		l.pend = grown
+		l.head = 0
+	}
+	l.pend[(l.head+l.n)&(len(l.pend)-1)] = f
+	l.n++
+}
+
+// pop removes the oldest in-flight cell.
+func (l *Link) pop() inflight {
+	f := l.pend[l.head]
+	l.pend[l.head] = inflight{}
+	l.head = (l.head + 1) & (len(l.pend) - 1)
+	l.n--
+	return f
+}
+
+// linkFire is the static delivery callback shared by all links, so arming
+// the delivery event allocates nothing.
+func linkFire(a any) { a.(*Link).fire() }
+
+// fire delivers the front of the in-flight ring. It runs at the arrival
+// time of the oldest cell. Consecutive cells spaced exactly one CellTime
+// apart form a train; if the sink understands trains the whole run is
+// delivered here, otherwise only the head cell is (and the event re-arms
+// for the next). Re-arming happens before delivery so a sink that feeds the
+// link again observes consistent state.
+func (l *Link) fire() {
+	now := l.e.Now()
+	if l.tsink == nil {
+		f := l.pop()
+		l.rearm()
+		l.sink.DeliverCell(f.c)
+		return
+	}
+	l.train = append(l.train[:0], l.pop().c)
+	next := now + l.p.CellTime
+	for l.n > 0 && l.pend[l.head].arrive == next {
+		l.train = append(l.train, l.pop().c)
+		next += l.p.CellTime
+	}
+	l.rearm()
+	l.tsink.DeliverTrain(l.train, now, l.p.CellTime)
+}
+
+// rearm schedules the next delivery, if cells remain in flight.
+func (l *Link) rearm() {
+	if l.n > 0 {
+		l.e.AtArg(l.pend[l.head].arrive, linkFire, l)
+	} else {
+		l.armed = false
+	}
+}
+
+// NextFree returns the virtual time at which the transmitter finishes its
+// committed work — the earliest start a further SendAt could get. Senders
+// that pace themselves arithmetically (instead of sleeping via WaitReady)
+// use it to compute output-FIFO stalls in closed form.
+func (l *Link) NextFree() time.Duration { return l.nextFree }
 
 // Backlog returns how long the transmitter is already committed beyond the
 // current instant — the serialization debt of queued cells. NIC models use
@@ -127,14 +248,13 @@ func (l *Link) Backlog() time.Duration {
 }
 
 // WaitReady blocks the process until the transmit backlog is at most
-// maxCells cells' worth of time, modeling a bounded output FIFO.
+// maxCells cells' worth of time, modeling a bounded output FIFO. Each link
+// has a single transmitting process, so the backlog only drains while that
+// process is blocked here: the exact wake time is computed once and slept
+// once, rather than polled.
 func (l *Link) WaitReady(p *sim.Proc, maxCells int) {
 	limit := time.Duration(maxCells) * l.p.CellTime
-	for {
-		b := l.Backlog()
-		if b <= limit {
-			return
-		}
+	if b := l.Backlog(); b > limit {
 		p.Sleep(b - limit)
 	}
 }

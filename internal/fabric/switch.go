@@ -30,11 +30,51 @@ type Switch struct {
 	routes  map[routeKey]int
 	out     []*Link
 	unknown uint64
+	free    *fwdJob // recycled forwarding jobs
 }
 
 type routeKey struct {
 	in  int
 	vci atm.VCI
+}
+
+// fwdJob carries one run of same-route cells across the switch's forwarding
+// latency. Jobs are pooled on the switch: forwarding a train in steady
+// state allocates nothing. The job fires at the forwarding time of its
+// first cell and enqueues the rest arithmetically via SendAt — the output
+// link's serialization yields the same departure times as per-cell
+// forwarding events would have.
+type fwdJob struct {
+	s       *Switch
+	link    *Link
+	cells   []atm.Cell
+	start   time.Duration // forwarding time of cells[0]
+	spacing time.Duration
+	next    *fwdJob
+}
+
+// fwdFire is the static callback shared by all forwarding jobs.
+func fwdFire(a any) {
+	j := a.(*fwdJob)
+	t := j.start
+	for _, c := range j.cells {
+		j.link.SendAt(c, t)
+		t += j.spacing
+	}
+	j.cells = j.cells[:0]
+	j.link = nil
+	j.next = j.s.free
+	j.s.free = j
+}
+
+func (s *Switch) getJob() *fwdJob {
+	j := s.free
+	if j == nil {
+		return &fwdJob{s: s}
+	}
+	s.free = j.next
+	j.next = nil
+	return j
 }
 
 // NewSwitch creates a switch with nports output ports, each serialized by a
@@ -73,18 +113,68 @@ func (s *Switch) UnknownVCICells() uint64 { return s.unknown }
 // OutputLink exposes a port's output link, e.g. for loss injection.
 func (s *Switch) OutputLink(port int) *Link { return s.out[port] }
 
+// portSink is the receive side of one input port. It implements TrainSink
+// so the uplink can hand over whole cell trains.
+type portSink struct {
+	s  *Switch
+	in int
+}
+
+func (ps portSink) DeliverCell(c atm.Cell) { ps.s.deliver(ps.in, c, ps.s.e.Now()) }
+
+func (ps portSink) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
+	ps.s.deliverTrain(ps.in, cells, first, spacing)
+}
+
 // PortSink returns the CellSink for input port in: uplinks must deliver
 // through their port's sink so the switch can enforce per-input-port
 // routes.
 func (s *Switch) PortSink(in int) CellSink {
-	return SinkFunc(func(c atm.Cell) { s.deliver(in, c) })
+	return portSink{s: s, in: in}
 }
 
-func (s *Switch) deliver(in int, c atm.Cell) {
+// deliver forwards a single cell arriving at time at on input port in.
+func (s *Switch) deliver(in int, c atm.Cell, at time.Duration) {
 	port, ok := s.routes[routeKey{in: in, vci: c.VCI}]
 	if !ok {
 		s.unknown++
 		return
 	}
-	s.e.After(s.latency, func() { s.out[port].Send(c) })
+	j := s.getJob()
+	j.link = s.out[port]
+	j.cells = append(j.cells, c)
+	j.start = at + s.latency
+	j.spacing = 0
+	s.e.AtArg(j.start, fwdFire, j)
+}
+
+// deliverTrain forwards a back-to-back train: cells[i] arrives at
+// first + i*spacing. Consecutive cells bound for the same output port are
+// forwarded by one pooled job; cells on unrouted VCIs are dropped and break
+// the run (their wire slot stays empty, exactly as per-cell forwarding
+// would leave it).
+func (s *Switch) deliverTrain(in int, cells []atm.Cell, first, spacing time.Duration) {
+	for i := 0; i < len(cells); {
+		port, ok := s.routes[routeKey{in: in, vci: cells[i].VCI}]
+		if !ok {
+			s.unknown++
+			i++
+			continue
+		}
+		run := i + 1
+		for run < len(cells) {
+			p2, ok2 := s.routes[routeKey{in: in, vci: cells[run].VCI}]
+			if !ok2 || p2 != port {
+				break
+			}
+			run++
+		}
+		j := s.getJob()
+		j.link = s.out[port]
+		j.cells = append(j.cells, cells[i:run]...)
+		j.start = first + time.Duration(i)*spacing + s.latency
+		j.spacing = spacing
+		s.e.AtArg(j.start, fwdFire, j)
+		i = run
+	}
 }

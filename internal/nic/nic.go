@@ -50,6 +50,14 @@ type pduState struct {
 	direct bool
 }
 
+// arrival is one cell in the input FIFO, tagged with its wire arrival time.
+// Train intake stamps cells with future arrival times; the processor never
+// consumes a cell before its stamp.
+type arrival struct {
+	c      atm.Cell
+	arrive time.Duration
+}
+
 // Device is a NIC model servicing the U-Net endpoints of one host. It
 // implements unet.Device.
 type Device struct {
@@ -59,17 +67,26 @@ type Device struct {
 	params Params
 	uplink *fabric.Link
 
-	in   *sim.FIFO[atm.Cell]
-	work sim.Cond
+	// Input FIFO: a power-of-two ring of timestamped cells. Kept inline
+	// (rather than a sim.FIFO) so whole cell trains can be accepted in one
+	// call with exact overflow accounting.
+	in    []arrival
+	ihead int
+	inn   int
+	work  sim.Cond
 
 	eps   []*unet.Endpoint
 	txRR  int
 	vcis  map[atm.VCI]route
 	pdus  map[atm.VCI]*pduState
 	stats Stats
+
+	txCells []atm.Cell // segmentation scratch, reused across sends
+	txData  []byte     // DMA/header staging scratch, reused across sends
 }
 
 var _ unet.Device = (*Device)(nil)
+var _ fabric.TrainSink = (*Device)(nil)
 
 // New creates a device sending on uplink. Call Start (or use Attach) to
 // run its processor.
@@ -80,7 +97,6 @@ func New(e *sim.Engine, host *unet.Host, params Params, uplink *fabric.Link) *De
 		host:   host,
 		params: params,
 		uplink: uplink,
-		in:     sim.NewFIFO[atm.Cell](params.InFIFODepth),
 		vcis:   make(map[atm.VCI]route),
 		pdus:   make(map[atm.VCI]*pduState),
 	}
@@ -169,12 +185,62 @@ func (d *Device) MTU() int { return d.params.MTU }
 // MaxEndpoints reports the endpoint table size.
 func (d *Device) MaxEndpoints() int { return d.params.MaxEndpoints }
 
+// push appends a timestamped cell to the input ring, growing it as needed
+// up to the FIFO depth.
+func (d *Device) push(a arrival) {
+	if d.inn == len(d.in) {
+		grown := make([]arrival, max(8, 2*len(d.in)))
+		for i := 0; i < d.inn; i++ {
+			grown[i] = d.in[(d.ihead+i)&(len(d.in)-1)]
+		}
+		d.in = grown
+		d.ihead = 0
+	}
+	d.in[(d.ihead+d.inn)&(len(d.in)-1)] = a
+	d.inn++
+}
+
+// pop removes the oldest queued cell.
+func (d *Device) pop() arrival {
+	a := d.in[d.ihead]
+	d.in[d.ihead] = arrival{}
+	d.ihead = (d.ihead + 1) & (len(d.in) - 1)
+	d.inn--
+	return a
+}
+
 // DeliverCell implements fabric.CellSink: a cell arrived off the fiber
 // into the input FIFO. Overflow drops the cell, as the real FIFO would.
 func (d *Device) DeliverCell(c atm.Cell) {
-	if !d.in.TryPut(c) {
+	if d.inn >= d.params.InFIFODepth {
 		d.stats.InFIFODrops++
 		return
+	}
+	d.push(arrival{c: c, arrive: d.e.Now()})
+	d.work.Signal()
+}
+
+// DeliverTrain implements fabric.TrainSink: a back-to-back run of cells is
+// queued in one call, each stamped with its arrival time (cells[i] arrives
+// at first + i*spacing; the processor will not touch it earlier).
+//
+// Accepting the whole train up front is exact as long as it fits: FIFO
+// occupancy can only fall between now and the later cells' arrivals (the
+// processor drains, nothing else fills), so per-cell delivery could not
+// have dropped any of these cells either. When the train does not fit, fall
+// back to per-cell delivery events, which reproduce overflow drops
+// cell-by-cell exactly as the unbatched fabric did.
+func (d *Device) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
+	if d.inn+len(cells) > d.params.InFIFODepth {
+		for k := 1; k < len(cells); k++ {
+			cell := cells[k]
+			d.e.At(first+time.Duration(k)*spacing, func() { d.DeliverCell(cell) })
+		}
+		d.DeliverCell(cells[0])
+		return
+	}
+	for i := range cells {
+		d.push(arrival{c: cells[i], arrive: first + time.Duration(i)*spacing})
 	}
 	d.work.Signal()
 }
@@ -185,15 +251,26 @@ func (d *Device) DeliverCell(c atm.Cell) {
 // host CPU in the SBA-100): it alternates draining the input FIFO —
 // reception has priority, as in the firmware — with servicing one send
 // descriptor per round from the endpoints, round-robin.
+//
+// Per-cell costs are accounted arithmetically on a virtual cursor rather
+// than with one Sleep per cell: the cursor advances by each cell's cost,
+// and the process synchronizes (sleeps to the cursor) only before an
+// observable action — delivering a PDU, popping a send descriptor, or
+// going idle. The observable timeline is identical to sleep-per-cell; the
+// engine just runs one context switch per PDU instead of several per cell.
 func (d *Device) run(p *sim.Proc) {
 	for {
 		progress := false
-		for {
-			c, ok := d.in.TryGet()
-			if !ok {
-				break
+		// Drain every cell that has arrived by the processor's current
+		// position in virtual time, re-checking after each synchronizing
+		// sleep (more cells may have arrived in the interim — the same
+		// cells a sleep-per-cell processor would find in its input FIFO).
+		for d.inn > 0 && d.in[d.ihead].arrive <= p.Now() {
+			cursor := p.Now()
+			for d.inn > 0 && d.in[d.ihead].arrive <= cursor {
+				cursor = d.processCell(p, d.pop().c, cursor)
 			}
-			d.handleCell(p, c)
+			d.syncTo(p, cursor)
 			progress = true
 		}
 		if ep := d.nextTxEndpoint(); ep != nil {
@@ -201,8 +278,22 @@ func (d *Device) run(p *sim.Proc) {
 			progress = true
 		}
 		if !progress {
-			p.Wait(&d.work)
+			if d.inn > 0 {
+				// The head cell is stamped in the future: sleep until it
+				// arrives, unless send work shows up first.
+				p.WaitTimeout(&d.work, d.in[d.ihead].arrive-p.Now())
+			} else {
+				p.Wait(&d.work)
+			}
 		}
+	}
+}
+
+// syncTo sleeps the processor forward to the cost cursor, making the
+// virtual clock agree with the accounted work before an observable action.
+func (d *Device) syncTo(p *sim.Proc, cursor time.Duration) {
+	if cursor > p.Now() {
+		p.Sleep(cursor - p.Now())
 	}
 }
 
@@ -233,54 +324,65 @@ func (d *Device) handleTx(p *sim.Proc, ep *unet.Endpoint) {
 		return // channel closed while queued
 	}
 	d.stats.PDUsOut++
+	cursor := p.Now()
 	if desc.Inline != nil && d.params.SingleCellMax > 0 {
-		p.Sleep(d.params.TxSingleCell)
-		cells := atm.Segment(tx, desc.Inline)
-		d.sendCells(p, cells)
+		cursor += d.params.TxSingleCell
+		d.txCells = atm.SegmentAppend(d.txCells[:0], tx, desc.Inline)
+		d.sendCells(p, d.txCells, cursor)
 		return
 	}
-	var data []byte
+	d.txData = d.txData[:0]
+	if desc.Direct {
+		d.txData = binary.BigEndian.AppendUint64(d.txData, uint64(desc.DstOffset))
+	}
 	if desc.Inline != nil {
-		data = desc.Inline // fast path absent on this device
+		d.txData = append(d.txData, desc.Inline...) // fast path absent on this device
 	} else {
-		data = ep.DevReadSegment(desc.Offset, desc.Length)
+		d.txData = ep.DevReadSegmentAppend(d.txData, desc.Offset, desc.Length)
 	}
+	cursor += d.params.TxFixed
+	d.txCells = atm.SegmentAppend(d.txCells[:0], tx, d.txData)
 	if desc.Direct {
-		hdr := make([]byte, directHeaderSize, directHeaderSize+len(data))
-		binary.BigEndian.PutUint64(hdr, uint64(desc.DstOffset))
-		data = append(hdr, data...)
-	}
-	p.Sleep(d.params.TxFixed)
-	cells := atm.Segment(tx, data)
-	if desc.Direct {
-		for i := range cells {
-			cells[i].Direct = true
+		for i := range d.txCells {
+			d.txCells[i].Direct = true
 		}
 	}
-	d.sendCells(p, cells)
+	d.sendCells(p, d.txCells, cursor)
 }
 
-func (d *Device) sendCells(p *sim.Proc, cells []atm.Cell) {
-	for _, c := range cells {
-		if d.params.TxPerCell > 0 {
-			p.Sleep(d.params.TxPerCell)
+// sendCells puts cells on the uplink. The per-cell processor cost and the
+// output-FIFO stall (formerly a Sleep and a WaitReady per cell) are folded
+// into the cursor in closed form — the device is the uplink's only sender,
+// so its committed-work horizon (NextFree) is fully known — and each cell
+// is enqueued with SendAt at exactly the time Send would have been called.
+// One synchronizing sleep at the end lands the processor where the
+// sleep-per-cell loop would have left it.
+func (d *Device) sendCells(p *sim.Proc, cells []atm.Cell, cursor time.Duration) {
+	limit := time.Duration(d.params.OutFIFOCells) * d.uplink.Params().CellTime
+	for i := range cells {
+		cursor += d.params.TxPerCell
+		if ready := d.uplink.NextFree() - limit; cursor < ready {
+			cursor = ready // stall: output FIFO full
 		}
-		d.uplink.WaitReady(p, d.params.OutFIFOCells)
-		d.uplink.Send(c)
+		d.uplink.SendAt(cells[i], cursor)
 		d.stats.CellsOut++
 	}
+	d.syncTo(p, cursor)
 }
 
-// handleCell processes one arriving cell. Single-cell PDUs take the
-// receive fast path: deposited directly into the next receive-queue entry
-// with no buffer allocation (§4.2.2). Multi-cell PDUs accumulate per VCI
-// and are scattered into free-queue buffers on completion.
-func (d *Device) handleCell(p *sim.Proc, c atm.Cell) {
+// processCell accounts and processes one arriving cell, advancing the cost
+// cursor and returning it. Single-cell PDUs take the receive fast path:
+// deposited directly into the next receive-queue entry with no buffer
+// allocation (§4.2.2). Multi-cell PDUs accumulate per VCI and are scattered
+// into free-queue buffers on completion. Mid-PDU cells have no observable
+// effect, so their cost is pure cursor arithmetic; the process synchronizes
+// to the cursor only when a completed (or failed) PDU reaches an endpoint.
+func (d *Device) processCell(p *sim.Proc, c atm.Cell, cursor time.Duration) time.Duration {
 	d.stats.CellsIn++
 	r, ok := d.vcis[c.VCI]
 	if !ok {
 		d.stats.UnknownVCIs++
-		return
+		return cursor
 	}
 	st := d.pdus[c.VCI]
 	if st == nil {
@@ -289,9 +391,9 @@ func (d *Device) handleCell(p *sim.Proc, c atm.Cell) {
 	}
 	fastPath := st.reasm.Pending() == 0 && c.EOP && !c.Direct && d.params.SingleCellMax > 0
 	if fastPath {
-		p.Sleep(d.params.RxSingleCell)
+		cursor += d.params.RxSingleCell
 	} else {
-		p.Sleep(d.params.RxPerCell)
+		cursor += d.params.RxPerCell
 	}
 	if st.reasm.Pending() == 0 {
 		st.direct = c.Direct
@@ -299,23 +401,29 @@ func (d *Device) handleCell(p *sim.Proc, c atm.Cell) {
 	payload, err := st.reasm.Add(c)
 	if err != nil {
 		d.stats.BadPDUs++
+		d.syncTo(p, cursor)
 		r.ep.DevDropReassembly()
-		return
+		return cursor
 	}
 	if payload == nil {
-		return // mid-PDU
+		return cursor // mid-PDU
 	}
 	d.stats.PDUsIn++
 	if fastPath && len(payload) <= d.params.SingleCellMax {
-		r.ep.DevDeliver(unet.RecvDesc{Channel: r.ch, Length: len(payload), Inline: payload})
-		return
+		d.syncTo(p, cursor)
+		// The reassembler's buffer is recycled on the next cell; the inline
+		// descriptor retains its payload, so hand the endpoint a copy.
+		r.ep.DevDeliver(unet.RecvDesc{Channel: r.ch, Length: len(payload), Inline: append([]byte(nil), payload...)})
+		return cursor
 	}
-	p.Sleep(d.params.RxFixed)
+	cursor += d.params.RxFixed
+	d.syncTo(p, cursor)
 	if st.direct {
 		d.deliverDirect(r, payload)
-		return
+		return cursor
 	}
 	d.deliverBuffered(r, payload)
+	return cursor
 }
 
 // deliverDirect deposits a §3.6 direct-access PDU at the sender-specified

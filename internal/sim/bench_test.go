@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The BenchmarkEngine_* family tracks the engine's wall-clock fast path:
+// steady-state event scheduling, timer cancellation, and the process
+// context switch. All report allocations — the pooled event arena and the
+// reusable wait records are supposed to make every one of these 0 allocs/op
+// in steady state.
+
+// BenchmarkEngine_ScheduleFire measures one-event-at-a-time schedule+fire
+// throughput through the pooled arena (alloc, heap push, pop, recycle).
+func BenchmarkEngine_ScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, fn)
+		}
+	}
+	e.After(time.Microsecond, fn)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngine_ScheduleFireArg is the closure-free variant: a static
+// callback with its state passed through the event's arg slot.
+func BenchmarkEngine_ScheduleFireArg(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	type st struct {
+		e *Engine
+		n int
+	}
+	s := &st{e: e}
+	var fn func(any)
+	fn = func(a any) {
+		s := a.(*st)
+		s.n++
+		if s.n < b.N {
+			s.e.AfterArg(time.Microsecond, fn, s)
+		}
+	}
+	e.AfterArg(time.Microsecond, fn, s)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngine_TimerCancel schedules far-future timers and cancels them
+// immediately: the lazy-compaction path that keeps canceled entries from
+// accumulating in the heap.
+func BenchmarkEngine_TimerCancel(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(time.Duration(i)*time.Second, nop)
+		tm.Cancel()
+	}
+	if e.PendingEvents() > 64 {
+		b.Fatalf("canceled timers accumulated: %d pending", e.PendingEvents())
+	}
+}
+
+// BenchmarkEngine_ProcContextSwitch bounces a bounded FIFO between two
+// processes: each element is two blocking handoffs (full → put wakes get,
+// empty → get wakes put), the simulator's equivalent of a context switch.
+func BenchmarkEngine_ProcContextSwitch(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	defer e.Shutdown()
+	q := NewFIFO[int](1)
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngine_SleepResume measures the pooled resume event: one process
+// sleeping in a tight loop.
+func BenchmarkEngine_SleepResume(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	defer e.Shutdown()
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

@@ -4,8 +4,13 @@ package sim
 // consumers. Processes block on Put when a bounded queue is full and on Get
 // when it is empty; callbacks (non-process contexts such as wire-delivery
 // events) use TryPut/TryGet, whose failure models hardware FIFO overflow.
+//
+// Storage is a power-of-two ring buffer: steady-state producer/consumer
+// traffic allocates nothing once the ring has grown to the high-water mark.
 type FIFO[T any] struct {
-	items    []T
+	ring     []T // len(ring) is 0 or a power of two
+	head     int // index of the oldest element
+	n        int // number of queued elements
 	capacity int // 0 means unbounded
 	nonEmpty Cond
 	nonFull  Cond
@@ -22,7 +27,7 @@ func NewFIFO[T any](capacity int) *FIFO[T] {
 }
 
 // Len returns the number of queued items.
-func (q *FIFO[T]) Len() int { return len(q.items) }
+func (q *FIFO[T]) Len() int { return q.n }
 
 // Cap returns the capacity (0 = unbounded).
 func (q *FIFO[T]) Cap() int { return q.capacity }
@@ -30,7 +35,21 @@ func (q *FIFO[T]) Cap() int { return q.capacity }
 // Drops returns how many TryPut calls failed because the queue was full.
 func (q *FIFO[T]) Drops() uint64 { return q.drops }
 
-func (q *FIFO[T]) full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+func (q *FIFO[T]) full() bool { return q.capacity > 0 && q.n >= q.capacity }
+
+// push appends v, growing the ring if necessary.
+func (q *FIFO[T]) push(v T) {
+	if q.n == len(q.ring) {
+		grown := make([]T, max(4, 2*len(q.ring)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+		}
+		q.ring = grown
+		q.head = 0
+	}
+	q.ring[(q.head+q.n)&(len(q.ring)-1)] = v
+	q.n++
+}
 
 // TryPut appends v if there is room and reports whether it was accepted.
 // A rejected item counts as a drop.
@@ -39,7 +58,7 @@ func (q *FIFO[T]) TryPut(v T) bool {
 		q.drops++
 		return false
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.nonEmpty.Signal()
 	return true
 }
@@ -49,19 +68,20 @@ func (q *FIFO[T]) Put(p *Proc, v T) {
 	for q.full() {
 		p.Wait(&q.nonFull)
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.nonEmpty.Signal()
 }
 
 // TryGet removes and returns the oldest item, if any.
 func (q *FIFO[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
+	v := q.ring[q.head]
+	q.ring[q.head] = zero
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.n--
 	q.nonFull.Signal()
 	return v, true
 }
@@ -69,7 +89,7 @@ func (q *FIFO[T]) TryGet() (T, bool) {
 // Get removes and returns the oldest item, blocking the process while the
 // queue is empty.
 func (q *FIFO[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		p.Wait(&q.nonEmpty)
 	}
 	v, _ := q.TryGet()

@@ -16,6 +16,11 @@ type Proc struct {
 	started bool
 	done    bool
 	killed  bool
+	// w is the process's reusable condition-wait record. A blocked process
+	// waits on exactly one condition, so one embedded record (instead of an
+	// allocation per Wait) suffices; WaitTimeout cancels its timer on a
+	// signaled wake so no stale reference to w survives the call.
+	w waiter
 }
 
 // procKilled is the panic payload used to unwind a process during Shutdown.
@@ -63,15 +68,12 @@ func (p *Proc) Logf(format string, args ...any) { p.e.Tracef(p.name, format, arg
 // Sleep advances the process's position in virtual time by d: it models the
 // process spending d of CPU (or waiting) time. Other processes and events
 // run in the interim. Non-positive d yields without advancing the clock.
+// Sleep allocates nothing: the wake-up is a pooled resume event.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.e.After(d, func() {
-		if !p.done {
-			p.e.transfer(p)
-		}
-	})
+	p.e.resumeAt(p.e.now+d, p)
 	p.park()
 }
 
@@ -95,11 +97,20 @@ type Cond struct {
 	waiters []*waiter
 }
 
+// popFront removes and returns the oldest waiter, keeping the slice's
+// front capacity so steady-state wait/signal traffic allocates nothing.
+func (c *Cond) popFront() *waiter {
+	w := c.waiters[0]
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
+	return w
+}
+
 // Signal wakes the longest-waiting process, if any.
 func (c *Cond) Signal() {
 	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		w := c.popFront()
 		if w.fired {
 			continue
 		}
@@ -145,29 +156,32 @@ func (c *Cond) Waiting() int {
 
 // Wait blocks the process until the condition is signaled.
 func (p *Proc) Wait(c *Cond) {
-	w := &waiter{p: p, c: c}
-	c.waiters = append(c.waiters, w)
+	p.w = waiter{p: p, c: c}
+	c.waiters = append(c.waiters, &p.w)
 	p.park()
 }
 
 // WaitTimeout blocks until the condition is signaled or d elapses. It
 // reports true if the wake was a signal and false on timeout. A timed-out
-// waiter is removed from the condition immediately, so polling loops do
-// not accumulate stale entries.
+// waiter is removed from the condition immediately, and a signaled wake
+// cancels the pending timeout, so polling loops accumulate neither stale
+// waiters nor live timers.
 func (p *Proc) WaitTimeout(c *Cond, d time.Duration) bool {
-	w := &waiter{p: p, c: c}
-	c.waiters = append(c.waiters, w)
-	p.e.After(d, func() {
-		if w.fired {
-			return
-		}
-		w.fired = true
-		w.timedOut = true
-		c.remove(w)
-		if !p.done {
-			p.e.transfer(p)
-		}
-	})
+	p.w = waiter{p: p, c: c}
+	c.waiters = append(c.waiters, &p.w)
+	if d < 0 {
+		d = 0
+	}
+	ev := p.e.schedule(p.e.now + d)
+	ev.kind = kindTimeout
+	ev.w = &p.w
+	tm := Timer{ev: ev, gen: ev.gen}
 	p.park()
-	return !w.timedOut
+	if !p.w.timedOut {
+		// Signaled: the timeout event still references p.w; cancel it so the
+		// record can be reused by the next wait. The canceled entry is
+		// reclaimed by the engine's lazy compaction.
+		tm.Cancel()
+	}
+	return !p.w.timedOut
 }

@@ -11,10 +11,21 @@
 // Determinism: events firing at the same virtual time are processed in
 // scheduling order, and all randomness flows from the engine's seeded
 // source, so a simulation produces bit-identical results across runs.
+//
+// The event queue is built for throughput on the simulator's hot path
+// (cell-level network models schedule millions of events per simulated
+// second of traffic): events live in a free-list-backed arena and are
+// recycled after firing, the queue is a 4-ary implicit heap (shallower than
+// a binary heap, and free of the container/heap interface indirection), and
+// process resumption is expressed as a dedicated event kind so that
+// Proc.Sleep and wake-ups allocate nothing in steady state. Canceled timers
+// stay in the heap but are compacted away wholesale once they outnumber the
+// live entries, so long-running simulations with many canceled timeouts
+// (TCP retransmission timers, condition waits) do not grow the queue
+// unboundedly.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -28,6 +39,12 @@ type Engine struct {
 	now    time.Duration
 	seq    uint64
 	events eventHeap
+	// ncanceled counts canceled events still sitting in the heap; when they
+	// outnumber the live entries the heap is compacted in one pass.
+	ncanceled int
+	// free is the event arena's free list. Fired and compacted events are
+	// returned here and reused, so steady-state scheduling allocates nothing.
+	free   *event
 	parked chan struct{}
 	// running is the currently executing process, nil while the engine
 	// itself (or a callback) runs.
@@ -58,6 +75,10 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Useful as a progress/livelock diagnostic in tests.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
+// PendingEvents reports how many entries (live and canceled) currently sit
+// in the event queue. Exposed for queue-growth diagnostics and tests.
+func (e *Engine) PendingEvents() int { return len(e.events) }
+
 // SetTracer installs fn to observe trace messages emitted via Tracef and
 // Proc.Logf. A nil fn disables tracing.
 func (e *Engine) SetTracer(fn func(at time.Duration, who, msg string)) { e.tracer = fn }
@@ -69,47 +90,132 @@ func (e *Engine) Tracef(who, format string, args ...any) {
 	}
 }
 
-// event is a single queue entry: fn fires at virtual time at. Entries with
-// equal times fire in scheduling (seq) order.
+// Event kinds. A kind-dispatched payload (rather than a closure per event)
+// is what keeps the engine's hot paths allocation-free: resuming a process
+// or invoking a static callback with an argument needs no captured state.
+const (
+	kindFunc    = iota // call fn()
+	kindFuncArg        // call fnArg(arg)
+	kindResume         // resume process p
+	kindTimeout        // expire condition wait w
+)
+
+// event is a single queue entry firing at virtual time at. Entries with
+// equal times fire in scheduling (seq) order. Events are pooled: gen
+// increments on every recycle so stale Timer handles cannot cancel an
+// unrelated reincarnation.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at    time.Duration
+	seq   uint64
+	e     *Engine
+	kind  uint8
+	fn    func()
+	fnArg func(any)
+	arg   any
+	p     *Proc
+	w     *waiter
+	gen   uint32
 	// canceled events stay in the heap but do not fire.
 	canceled bool
+	// next chains the free list.
+	next *event
+}
+
+// alloc takes an event from the arena free list, or grows the arena.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		return &event{}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle clears an event and returns it to the arena.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	ev.p = nil
+	ev.w = nil
+	ev.canceled = false
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
 }
 
 // Timer is a handle to a scheduled callback. Cancel prevents a pending
-// callback from firing; canceling an already-fired timer is a no-op.
-type Timer struct{ ev *event }
+// callback from firing; canceling an already-fired timer is a no-op. The
+// zero Timer is valid and Cancel on it reports false.
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel stops the timer. It reports whether the callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+// The canceled entry stays queued until it is popped or compacted away.
+func (t Timer) Cancel() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.canceled {
 		return false
 	}
-	t.ev.canceled = true
+	ev.canceled = true
+	if ev.e != nil {
+		ev.e.ncanceled++
+		ev.e.maybeCompact()
+	}
 	return true
+}
+
+// schedule enqueues a pooled event at absolute time at (clamped to now).
+func (e *Engine) schedule(at time.Duration) *event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.e = e
+	e.seq++
+	e.events.push(ev)
+	return ev
 }
 
 // At schedules fn to run at absolute virtual time at. Times in the past are
 // clamped to now.
-func (e *Engine) At(at time.Duration, fn func()) *Timer {
-	if at < e.now {
-		at = e.now
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+func (e *Engine) At(at time.Duration, fn func()) Timer {
+	ev := e.schedule(at)
+	ev.kind = kindFunc
+	ev.fn = fn
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AtArg schedules fn(arg) to run at absolute virtual time at. With a static
+// (non-capturing) fn and a pointer-typed arg this allocates nothing, which
+// makes it the scheduling primitive of choice for per-message hot paths.
+func (e *Engine) AtArg(at time.Duration, fn func(any), arg any) Timer {
+	ev := e.schedule(at)
+	ev.kind = kindFuncArg
+	ev.fnArg = fn
+	ev.arg = arg
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// AfterArg schedules fn(arg) to run d from now (negative d clamps to zero).
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtArg(e.now+d, fn, arg)
 }
 
 // Run processes events until the queue is empty (the simulation is
@@ -131,18 +237,68 @@ func (e *Engine) RunUntil(limit time.Duration) time.Duration {
 			}
 			return e.now
 		}
-		heap.Pop(&e.events)
+		e.events.pop()
 		if next.canceled {
+			e.ncanceled--
+			e.recycle(next)
 			continue
 		}
-		next.canceled = true // fired: a later Cancel reports not-pending
 		if next.at > e.now {
 			e.now = next.at
 		}
 		e.nsteps++
-		next.fn()
+		// Copy the payload out and recycle before dispatch: the callback may
+		// schedule new events, and reusing the just-fired entry keeps the
+		// arena hot. A Timer held for this event sees the generation bump
+		// and correctly reports not-pending.
+		kind, fn, fnArg, arg, p, w := next.kind, next.fn, next.fnArg, next.arg, next.p, next.w
+		e.recycle(next)
+		switch kind {
+		case kindFunc:
+			fn()
+		case kindFuncArg:
+			fnArg(arg)
+		case kindResume:
+			if !p.done {
+				e.transfer(p)
+			}
+		case kindTimeout:
+			if !w.fired {
+				w.fired = true
+				w.timedOut = true
+				w.c.remove(w)
+				if !w.p.done {
+					e.transfer(w.p)
+				}
+			}
+		}
 	}
 	return e.now
+}
+
+// maybeCompact rebuilds the heap without its canceled entries once they
+// outnumber the live ones. Long-running simulations cancel timers
+// constantly (every armed-then-acked retransmission timer, every signaled
+// timed wait); lazy wholesale compaction keeps cancellation O(1) while
+// bounding queue growth to 2× the live event count.
+func (e *Engine) maybeCompact() {
+	if e.ncanceled*2 <= len(e.events) || len(e.events) < 64 {
+		return
+	}
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.ncanceled = 0
+	e.events.init()
 }
 
 // Shutdown terminates every live process (blocked or sleeping) by unwinding
@@ -159,6 +315,8 @@ func (e *Engine) Shutdown() {
 		delete(e.procs, p)
 	}
 	e.events = nil
+	e.ncanceled = 0
+	e.free = nil
 }
 
 // transfer hands execution to p and waits until p blocks or finishes.
@@ -175,12 +333,18 @@ func (e *Engine) transfer(p *Proc) {
 }
 
 // resumeLater schedules p to resume execution at the current virtual time.
+// This is the allocation-free equivalent of After(0, ...) for wake-ups.
 func (e *Engine) resumeLater(p *Proc) {
-	e.After(0, func() {
-		if !p.done {
-			e.transfer(p)
-		}
-	})
+	ev := e.schedule(e.now)
+	ev.kind = kindResume
+	ev.p = p
+}
+
+// resumeAt schedules p to resume execution at absolute time at.
+func (e *Engine) resumeAt(at time.Duration, p *Proc) {
+	ev := e.schedule(at)
+	ev.kind = kindResume
+	ev.p = p
 }
 
 // Spawn creates a process named name running fn and schedules it to start
@@ -207,23 +371,77 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	return p
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// eventHeap is a 4-ary implicit min-heap ordered by (at, seq). Four-way
+// fanout halves the tree depth of the binary heap it replaces, and the
+// hand-rolled sift routines avoid container/heap's interface dispatch on
+// every comparison — both measurable on the per-cell scheduling path.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	ev := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 1 {
+		h.down(0)
+	}
 	return ev
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// init re-establishes the heap property over arbitrary contents (used after
+// compaction).
+func (h eventHeap) init() {
+	for i := (len(h) - 2) / 4; i >= 0; i-- {
+		h.down(i)
+	}
 }

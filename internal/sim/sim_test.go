@@ -189,9 +189,10 @@ func TestWaitTimeoutSignaledFirst(t *testing.T) {
 	if !signaled {
 		t.Fatal("WaitTimeout reported timeout, want signal")
 	}
-	if e.Now() != 5*us {
-		// The stale timeout event still fires (harmlessly) at 5µs.
-		t.Fatalf("final time = %v, want 5µs", e.Now())
+	if e.Now() != 2*us {
+		// The signaled wake cancels the pending timeout, so the simulation
+		// goes quiescent at the signal time instead of idling to 5µs.
+		t.Fatalf("final time = %v, want 2µs", e.Now())
 	}
 }
 
@@ -406,37 +407,4 @@ func TestRunUntilNeverRewindsClock(t *testing.T) {
 	if got := e.RunUntil(2 * us); got != 10*us {
 		t.Fatalf("RunUntil rewound the clock to %v", got)
 	}
-}
-
-func BenchmarkEngineEventThroughput(b *testing.B) {
-	e := New(1)
-	var fn func()
-	n := 0
-	fn = func() {
-		n++
-		if n < b.N {
-			e.After(us, fn)
-		}
-	}
-	e.After(us, fn)
-	b.ResetTimer()
-	e.Run()
-}
-
-func BenchmarkProcContextSwitch(b *testing.B) {
-	e := New(1)
-	defer e.Shutdown()
-	q := NewFIFO[int](1)
-	e.Spawn("producer", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			q.Put(p, i)
-		}
-	})
-	e.Spawn("consumer", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			q.Get(p)
-		}
-	})
-	b.ResetTimer()
-	e.Run()
 }

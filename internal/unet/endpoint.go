@@ -426,10 +426,15 @@ func (ep *Endpoint) DevWriteSegment(off int, data []byte) {
 
 // DevReadSegment is the NI's DMA out of the communication segment.
 func (ep *Endpoint) DevReadSegment(off, n int) []byte {
+	return ep.DevReadSegmentAppend(nil, off, n)
+}
+
+// DevReadSegmentAppend is DevReadSegment writing into dst (which it extends
+// and returns, like append), letting the NI reuse one DMA staging buffer
+// across messages.
+func (ep *Endpoint) DevReadSegmentAppend(dst []byte, off, n int) []byte {
 	if err := ep.checkRange(off, n); err != nil {
 		panic("unet: device DMA outside segment")
 	}
-	out := make([]byte, n)
-	copy(out, ep.seg[off:])
-	return out
+	return append(dst, ep.seg[off:off+n]...)
 }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench.sh — the PR-gate performance run.
+#
+# 1. Tier-1: build + full test suite (the calibration gates).
+# 2. Race check on the simulation kernel and the parallel sweep pool.
+# 3. Microbenchmarks (engine, fabric) and the end-to-end Figure 4 sweep,
+#    saved as benchstat-compatible text and summarized into BENCH_PR1.json.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR1.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+txt="${out%.json}.txt"
+
+echo "== tier-1: go build ./... && go test ./..." >&2
+go build ./...
+go test ./...
+
+echo "== race: internal/sim, internal/experiments" >&2
+go test -race ./internal/sim/...
+GOMAXPROCS=4 go test -race -run 'Golden' ./internal/experiments/
+
+echo "== benchmarks (benchstat-compatible: $txt)" >&2
+go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkLink_|BenchmarkSwitch_' \
+	-benchmem -benchtime 200000x -count 3 \
+	./internal/sim/ ./internal/fabric/ | tee "$txt"
+go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchtime 3x -count 3 . | tee -a "$txt"
+
+echo "== summarizing into $out" >&2
+go run ./scripts/benchjson "$txt" "$out"
+echo "wrote $out" >&2

@@ -1,0 +1,98 @@
+// Command benchjson condenses `go test -bench` output into a small JSON
+// summary (BENCH_PR1.json): one entry per benchmark with the mean of every
+// reported metric across -count repetitions. The raw benchstat-compatible
+// text sits next to it; the JSON is for dashboards and PR descriptions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type accum struct {
+	runs    int
+	metrics map[string][]float64
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson bench.txt out.json")
+		os.Exit(2)
+	}
+	in, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer in.Close()
+
+	bench := map[string]*accum{}
+	var order []string
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimSuffix(f[0], "-1") // strip GOMAXPROCS suffix
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		a := bench[name]
+		if a == nil {
+			a = &accum{metrics: map[string][]float64{}}
+			bench[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		// f[1] is the iteration count; then (value, unit) pairs follow.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			a.metrics[f[i+1]] = append(a.metrics[f[i+1]], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	type entry struct {
+		Name    string             `json:"name"`
+		Runs    int                `json:"runs"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	var out []entry
+	for _, name := range order {
+		a := bench[name]
+		m := map[string]float64{}
+		for unit, vs := range a.metrics {
+			sum := 0.0
+			for _, v := range vs {
+				sum += v
+			}
+			m[unit] = sum / float64(len(vs))
+		}
+		out = append(out, entry{Name: name, Runs: a.runs, Metrics: m})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(os.Args[2], append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

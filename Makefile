@@ -1,9 +1,11 @@
 # U-Net simulation repo. Tier-1 verification is `make check`; `make bench`
-# is the PR performance gate (tier-1 + race + benchmarks + BENCH_PR1.json).
+# is the PR performance gate (tier-1 + race + benchmarks + $(BENCH_OUT));
+# `make ci` mirrors the GitHub Actions workflow.
 
 GO ?= go
+BENCH_OUT ?= BENCH_PR2.json
 
-.PHONY: all build check test race bench clean
+.PHONY: all build check test race shardcheck bench ci clean
 
 all: build
 
@@ -17,10 +19,22 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/fabric/...
+	$(GO) test -race ./internal/nic/...
 	GOMAXPROCS=4 $(GO) test -race -run 'Golden' ./internal/experiments/
 
+shardcheck:
+	GOMAXPROCS=4 $(GO) test -run 'TestGoldenShardSweep' ./internal/experiments/
+	$(GO) test -run 'TestSharded' ./internal/testbed/
+
+ci: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(MAKE) race
+	$(MAKE) shardcheck
+
 bench:
-	sh scripts/bench.sh BENCH_PR1.json
+	sh scripts/bench.sh $(BENCH_OUT)
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR1.txt
+	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt

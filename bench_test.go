@@ -283,6 +283,46 @@ func BenchmarkAblation_EmulatedEndpoints(b *testing.B) {
 	b.ReportMetric(emu, "µs/emulated")
 }
 
+// --- Sharded execution ---
+
+// benchStorm runs the 8-host all-to-all cell storm once at the given shard
+// count and returns the total messages received (a fixed number — the storm
+// is deterministic — so any divergence shows up as a changed metric).
+func benchStorm(shards, count int) int {
+	tb := testbed.New(testbed.Config{Hosts: 8, Shards: shards})
+	defer tb.Close()
+	mesh, err := tb.NewMesh(unet.EndpointConfig{SegmentSize: 1 << 20}, 64)
+	if err != nil {
+		panic(err)
+	}
+	res, _ := mesh.Storm(count, 1024)
+	total := 0
+	for _, r := range res {
+		total += r.Received
+	}
+	return total
+}
+
+// benchmarkClusterSharded measures the wall-clock cost of the same 8-host
+// storm at a given shard count: the workload, the virtual timeline and the
+// results are identical at every count (the testbed shard tests assert so);
+// only the number of cores simulating them changes. On a multi-core machine
+// shards ≈ GOMAXPROCS is the fast configuration; at GOMAXPROCS=1 the
+// sharded runs measure pure window-protocol overhead.
+func benchmarkClusterSharded(b *testing.B, shards int) {
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = benchStorm(shards, 200)
+	}
+	b.ReportMetric(float64(total), "msgs")
+}
+
+func BenchmarkCluster_Sharded1(b *testing.B) { benchmarkClusterSharded(b, 0) }
+func BenchmarkCluster_Sharded2(b *testing.B) { benchmarkClusterSharded(b, 2) }
+func BenchmarkCluster_Sharded4(b *testing.B) { benchmarkClusterSharded(b, 4) }
+func BenchmarkCluster_Sharded8(b *testing.B) { benchmarkClusterSharded(b, 8) }
+
 // BenchmarkAblation_DirectAccess compares base-level buffered delivery
 // against direct-access deposits (§3.6).
 func BenchmarkAblation_DirectAccess(b *testing.B) {

@@ -8,6 +8,7 @@
 //	unetbench -experiment table3,fig8
 //	unetbench -paper               # paper-scale Split-C problem sizes
 //	unetbench -rounds 100          # more ping-pong rounds per point
+//	unetbench -shards -1           # shard each simulation across all cores
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 package main
@@ -29,9 +30,11 @@ func main() {
 		rounds   = flag.Int("rounds", 40, "ping-pong rounds per latency point")
 		count    = flag.Int("count", 200, "messages per bandwidth point")
 		parallel = flag.Int("parallel", 0, "sweep-point workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		shards   = flag.Int("shards", 0, "shard engines per simulation (0 = serial, <0 = GOMAXPROCS; output is identical either way)")
 	)
 	flag.Parse()
 	experiments.MaxParallel = *parallel
+	experiments.Shards = *shards
 
 	sc := experiments.QuickScale()
 	if *paper {

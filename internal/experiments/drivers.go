@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"unet/internal/nic"
@@ -19,7 +20,7 @@ import (
 // RawRTT measures the raw U-Net round-trip time for size-byte messages on
 // an SBA-200 pair (Figure 3, "Raw U-Net").
 func RawRTT(nicp nic.Params, size, rounds int) time.Duration {
-	tb := testbed.New(testbed.Config{Hosts: 2, NIC: &nicp})
+	tb := testbed.New(testbed.Config{Hosts: 2, NIC: &nicp, Shards: shardCount()})
 	defer tb.Close()
 	pr, err := tb.NewPair(0, 1, unet.EndpointConfig{}, 32)
 	if err != nil {
@@ -31,7 +32,7 @@ func RawRTT(nicp nic.Params, size, rounds int) time.Duration {
 // RawBandwidth measures raw U-Net streaming bandwidth (Figure 4, "Raw
 // U-Net").
 func RawBandwidth(nicp nic.Params, size, count int) testbed.StreamResult {
-	tb := testbed.New(testbed.Config{Hosts: 2, NIC: &nicp})
+	tb := testbed.New(testbed.Config{Hosts: 2, NIC: &nicp, Shards: shardCount()})
 	defer tb.Close()
 	pr, err := tb.NewPair(0, 1, unet.EndpointConfig{}, 32)
 	if err != nil {
@@ -42,7 +43,7 @@ func RawBandwidth(nicp nic.Params, size, count int) testbed.StreamResult {
 
 // uamPairTB builds two connected UAM nodes. The caller owns tb.Close.
 func uamPairTB(cfg uam.Config) (*testbed.Testbed, *uam.UAM, *uam.UAM) {
-	tb := testbed.New(testbed.Config{Hosts: 2})
+	tb := testbed.New(testbed.Config{Hosts: 2, Shards: shardCount()})
 	a, err := uam.New(tb.Hosts[0].NewProcess("am"), 0, cfg)
 	if err != nil {
 		panic(err)
@@ -70,7 +71,9 @@ func UAMPingPong(cfg uam.Config, size, rounds int) time.Duration {
 	tb, a, b := uamPairTB(cfg)
 	defer tb.Close()
 	payload := make([]byte, size)
-	done := false
+	// done crosses hosts — and, when sharded, goroutines. It flips only
+	// after the measurement is complete, so it never perturbs timing.
+	var done atomic.Bool
 	gotReply := false
 	b.RegisterHandler(hEcho, func(u *uam.UAM, p *sim.Proc, src int, arg uint32, data []byte) {
 		if err := u.Reply(p, hEchoR, arg, data); err != nil {
@@ -82,8 +85,8 @@ func UAMPingPong(cfg uam.Config, size, rounds int) time.Duration {
 	})
 	var start, end time.Duration
 	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
-		for !done {
-			if b.PollWait(p, time.Millisecond) == 0 && done {
+		for !done.Load() {
+			if b.PollWait(p, time.Millisecond) == 0 && done.Load() {
 				return
 			}
 		}
@@ -102,7 +105,7 @@ func UAMPingPong(cfg uam.Config, size, rounds int) time.Duration {
 			}
 		}
 		end = p.Now()
-		done = true
+		done.Store(true)
 	})
 	tb.Eng.Run()
 	return (end - start) / time.Duration(rounds)
@@ -115,10 +118,10 @@ func UAMStoreBandwidth(cfg uam.Config, size, count int) float64 {
 	tb, a, b := uamPairTB(cfg)
 	defer tb.Close()
 	block := make([]byte, size)
-	done := false
+	var done atomic.Bool
 	var elapsed time.Duration
 	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
-		for !done {
+		for !done.Load() {
 			b.PollWait(p, time.Millisecond)
 		}
 	})
@@ -136,7 +139,7 @@ func UAMStoreBandwidth(cfg uam.Config, size, count int) float64 {
 		}
 		a.Flush(p, 1)
 		elapsed = p.Now() - t0
-		done = true
+		done.Store(true)
 	})
 	tb.Eng.Run()
 	return float64(size*count) / elapsed.Seconds() / 1e6
@@ -148,10 +151,10 @@ func UAMStoreBandwidth(cfg uam.Config, size, count int) float64 {
 func UAMGetBandwidth(cfg uam.Config, size, count int) float64 {
 	tb, a, b := uamPairTB(cfg)
 	defer tb.Close()
-	done := false
+	var done atomic.Bool
 	var elapsed time.Duration
 	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
-		for !done {
+		for !done.Load() {
 			b.PollWait(p, time.Millisecond)
 		}
 	})
@@ -174,7 +177,7 @@ func UAMGetBandwidth(cfg uam.Config, size, count int) float64 {
 			a.WaitGet(p, tag)
 		}
 		elapsed = p.Now() - t0
-		done = true
+		done.Store(true)
 	})
 	tb.Eng.Run()
 	return float64(size*count) / elapsed.Seconds() / 1e6

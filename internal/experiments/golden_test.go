@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -21,6 +22,29 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if len(first) == 0 {
 		t.Fatal("empty rendering")
+	}
+}
+
+// TestGoldenShardSweep is the determinism contract of the sharded engine:
+// partitioning a simulation's hosts across shard goroutines must be
+// invisible in the results. Figure 4 and Table 3 rendered at every shard
+// count — including degenerate single-shard groups and oversubscribed
+// counts beyond GOMAXPROCS — must be byte-identical to the serial
+// rendering: same virtual times, same stats, same formatting.
+func TestGoldenShardSweep(t *testing.T) {
+	defer func(old int) { Shards = old }(Shards)
+
+	Shards = 0
+	serial := fmt.Sprintf("%v\n%v", Table3(10, 60), Fig4(40))
+	if len(serial) == 0 {
+		t.Fatal("empty serial rendering")
+	}
+	for _, k := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		Shards = k
+		if got := fmt.Sprintf("%v\n%v", Table3(10, 60), Fig4(40)); got != serial {
+			t.Fatalf("shards=%d diverged from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				k, serial, got)
+		}
 	}
 }
 

@@ -49,19 +49,21 @@ func ipPairSock(kind PathKind, sockBuf int) (*testbed.Testbed, ip.Conduit, ip.Co
 	}
 	switch kind {
 	case PathUNet:
-		tb := testbed.New(testbed.Config{Hosts: 2})
+		tb := testbed.New(testbed.Config{Hosts: 2, Shards: shardCount()})
 		ca, cb, err := tb.NewIPConduitPair(0, 1)
 		mustNoErr(err, "unet ip pair")
 		return tb, ca, cb
 	case PathKernelATM:
 		fore := nic.ForeParams()
-		tb := testbed.New(testbed.Config{Hosts: 2, NIC: &fore})
+		tb := testbed.New(testbed.Config{Hosts: 2, NIC: &fore, Shards: shardCount()})
 		ia, ib, err := tb.NewIPConduitPair(0, 1)
 		mustNoErr(err, "kernel atm pair")
 		ka := kernelpath.New(tb.Hosts[0], ia, kp)
 		kb := kernelpath.New(tb.Hosts[1], ib, kp)
 		return tb, ka, kb
 	default:
+		// The shared-medium Ethernet model couples both hosts on one
+		// engine; this path always runs serially.
 		tb := testbed.New(testbed.Config{Hosts: 2})
 		en := kernelpath.NewEthernet(tb.Eng)
 		pa := en.NewPort(1, 2)
@@ -283,7 +285,7 @@ func TCPBandwidth(kind PathKind, window, writeSize, total int) float64 {
 // UNetUDPNoChecksumRTT measures UDP round trips with the checksum
 // switched off (§7.6 ablation).
 func UNetUDPNoChecksumRTT(size, rounds int) time.Duration {
-	tb := testbed.New(testbed.Config{Hosts: 2})
+	tb := testbed.New(testbed.Config{Hosts: 2, Shards: shardCount()})
 	defer tb.Close()
 	ca, cb, err := tb.NewIPConduitPair(0, 1)
 	mustNoErr(err, "pair")

@@ -18,7 +18,10 @@ type Cluster struct {
 	Switch    *Switch
 	uplinks   []*Link
 	hostSinks []CellSink
-	undeliv   uint64
+	// hostEng is the shard engine each host's processes and NIC run on
+	// (all equal to Engine in a serial cluster).
+	hostEng []*sim.Engine
+	undeliv uint64
 }
 
 // hostPort indirects a switch output port to the host sink registered
@@ -51,27 +54,65 @@ func (h hostPort) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
 	}
 	// Per-cell fallback: cells[k] for k > 0 arrive in the future, so they
 	// must be re-scheduled (the train slice is only valid during this call,
-	// hence the per-cell copy into the closure).
+	// hence the per-cell copy into the closure). Scheduling goes to the
+	// host's own shard engine — the train was delivered there.
 	for k := 1; k < len(cells); k++ {
 		cell := cells[k]
-		h.c.Engine.At(first+time.Duration(k)*spacing, func() { h.DeliverCell(cell) })
+		h.c.hostEng[h.i].At(first+time.Duration(k)*spacing, func() { h.DeliverCell(cell) })
 	}
 	h.DeliverCell(cells[0])
 }
 
-// NewCluster builds an n-host star around one switch.
+// NewCluster builds an n-host star around one switch, everything on one
+// engine.
 func NewCluster(e *sim.Engine, name string, n int, lp LinkParams, switchLatency time.Duration) *Cluster {
-	c := &Cluster{Engine: e, hostSinks: make([]CellSink, n)}
-	sinks := make([]CellSink, n)
+	return NewShardedCluster(e, name, make([]*sim.Engine, n), lp, switchLatency)
+}
+
+// NewShardedCluster builds a star whose hosts may live on different shard
+// engines of root's group: host i's NIC and processes run on hostEng[i]
+// (nil or root means colocated with the switch). The switch always runs on
+// root. Links to and from a remote host become cross-shard links, whose
+// fixed latency (cell serialization + fiber propagation) is exactly the
+// lookahead the group's conservative window protocol synchronizes on — the
+// paper's own decoupling argument (§3): hosts interact only through the
+// switch over links of at least one cell time.
+//
+// Exchange registration order is fixed — switch→host mailboxes in host
+// order, then host→switch mailboxes in host order — so cross-shard arrivals
+// that tie on timestamps are injected in a deterministic order regardless
+// of shard count or scheduling.
+func NewShardedCluster(root *sim.Engine, name string, hostEng []*sim.Engine, lp LinkParams, switchLatency time.Duration) *Cluster {
+	n := len(hostEng)
+	c := &Cluster{Engine: root, hostSinks: make([]CellSink, n), hostEng: make([]*sim.Engine, n)}
+	out := make([]*Link, n)
 	for i := 0; i < n; i++ {
-		sinks[i] = hostPort{c: c, i: i}
+		he := hostEng[i]
+		if he == nil {
+			he = root
+		}
+		c.hostEng[i] = he
+		pname := fmt.Sprintf("%s.sw.port%d", name, i)
+		if he != root {
+			out[i] = NewCrossLink(root, he, pname, lp, hostPort{c: c, i: i})
+		} else {
+			out[i] = NewLink(root, pname, lp, hostPort{c: c, i: i})
+		}
 	}
-	c.Switch = NewSwitch(e, name+".sw", n, switchLatency, lp, sinks)
+	c.Switch = NewSwitchWithLinks(root, name+".sw", switchLatency, out)
 	for i := 0; i < n; i++ {
-		c.uplinks = append(c.uplinks, NewLink(e, fmt.Sprintf("%s.up%d", name, i), lp, c.Switch.PortSink(i)))
+		uname := fmt.Sprintf("%s.up%d", name, i)
+		if c.hostEng[i] != root {
+			c.uplinks = append(c.uplinks, NewCrossLink(c.hostEng[i], root, uname, lp, c.Switch.PortSink(i)))
+		} else {
+			c.uplinks = append(c.uplinks, NewLink(root, uname, lp, c.Switch.PortSink(i)))
+		}
 	}
 	return c
 }
+
+// HostEngine returns the shard engine host's NIC and processes must run on.
+func (c *Cluster) HostEngine(host int) *sim.Engine { return c.hostEng[host] }
 
 // Size returns the number of host ports.
 func (c *Cluster) Size() int { return len(c.uplinks) }

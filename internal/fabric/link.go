@@ -103,6 +103,14 @@ type Link struct {
 	n     int
 	armed bool
 	train []atm.Cell // scratch slice reused across DeliverTrain calls
+
+	// Cross-shard mode (see NewCrossLink): the transmit side keeps the
+	// serialization arithmetic (nextFree, stats, loss) but hands in-flight
+	// cells to outbox instead of the local ring; peer is the receive half in
+	// the destination shard, which owns the ring, the delivery events and
+	// the train grouping. A local link has peer == nil.
+	peer   *Link
+	outbox []inflight
 }
 
 // NewLink creates a link delivering into sink.
@@ -113,6 +121,65 @@ func NewLink(e *sim.Engine, name string, p LinkParams, sink CellSink) *Link {
 	l := &Link{e: e, name: name, p: p, sink: sink}
 	l.tsink, _ = sink.(TrainSink)
 	return l
+}
+
+// NewCrossLink creates a link whose transmitter lives in shard engine src
+// and whose receiver (sink) lives in shard engine dst. The returned Link is
+// the transmit half: senders use it exactly like a local link — Send/SendAt
+// serialize against nextFree, Backlog/WaitReady pace the output FIFO, loss
+// applies at the transmitter — but cells in flight cross the shard boundary
+// through a group mailbox drained at window barriers, and the receive half
+// replays them through the standard in-flight ring so delivery times and
+// train grouping are the ones a local link would have produced.
+//
+// The link's latency (CellTime + Propagation) is registered as group
+// lookahead: a cell sent at time t arrives no earlier than t + CellTime +
+// Propagation, which is exactly the bound the conservative window protocol
+// needs.
+func NewCrossLink(src, dst *sim.Engine, name string, p LinkParams, sink CellSink) *Link {
+	if p.CellTime <= 0 {
+		p.CellTime = DefaultCellTime
+	}
+	g := src.Group()
+	if g == nil || dst.Group() != g {
+		panic("fabric: cross link endpoints must share a shard group")
+	}
+	if src == dst {
+		panic("fabric: cross link endpoints are the same shard; use NewLink")
+	}
+	peer := &Link{e: dst, name: name, p: p, sink: sink}
+	peer.tsink, _ = sink.(TrainSink)
+	l := &Link{e: src, name: name, p: p, peer: peer}
+	g.AddExchange(dst, crossExchange{l})
+	g.ObserveLookahead(p.CellTime + p.Propagation)
+	return l
+}
+
+// Engine returns the engine the link's transmitter runs on. NIC models use
+// it to assert shard affinity: a host must transmit on a link of its own
+// shard.
+func (l *Link) Engine() *sim.Engine { return l.e }
+
+// crossExchange drains one cross-shard link's outbox into the receive half.
+// It runs on the destination shard's worker goroutine at a window barrier
+// (the group's atomics order it after the transmitter's appends), so the
+// injected delivery events receive deterministic sequence numbers.
+type crossExchange struct{ l *Link }
+
+func (x crossExchange) Drain() {
+	l := x.l
+	if len(l.outbox) == 0 {
+		return
+	}
+	peer := l.peer
+	for _, f := range l.outbox {
+		peer.push(f)
+		if !peer.armed {
+			peer.armed = true
+			peer.e.AtArg(peer.pend[peer.head].arrive, linkFire, peer)
+		}
+	}
+	l.outbox = l.outbox[:0]
 }
 
 // Params returns the link's timing parameters.
@@ -161,6 +228,10 @@ func (l *Link) SendAt(c atm.Cell, start time.Duration) time.Duration {
 	l.stats.CellsSent++
 	if l.lossFn != nil && l.lossFn(c) {
 		l.stats.CellsLost++
+		return depart
+	}
+	if l.peer != nil {
+		l.outbox = append(l.outbox, inflight{c: c, arrive: depart + l.p.Propagation})
 		return depart
 	}
 	l.push(inflight{c: c, arrive: depart + l.p.Propagation})

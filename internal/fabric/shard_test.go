@@ -1,0 +1,168 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unet/internal/atm"
+	"unet/internal/sim"
+)
+
+// echoSink records every arrival and bounces it straight back on the host's
+// uplink with a reply VCI, so traffic crosses the shard boundary in both
+// directions and reply timing depends on arrival timing.
+type echoSink struct {
+	e     *sim.Engine
+	up    *Link
+	reply atm.VCI
+	log   *[]string
+	name  string
+}
+
+func (s *echoSink) DeliverCell(c atm.Cell) {
+	*s.log = append(*s.log, fmt.Sprintf("%s %v vci=%d seq=%d", s.name, s.e.Now(), c.VCI, c.Payload[0]))
+	if s.reply != 0 {
+		r := c
+		r.VCI = s.reply
+		s.up.Send(r)
+	}
+}
+
+// runEchoCluster builds a 2-host star, has host 0 fire bursts of cells at
+// host 1, host 1 echo each back, and returns the merged delivery log of both
+// hosts. sharded selects whether each host lives on its own engine.
+func runEchoCluster(sharded bool) []string {
+	root := sim.New(1)
+	var hostEng []*sim.Engine
+	if sharded {
+		hostEng = []*sim.Engine{root.NewShard(2), root.NewShard(3)}
+	} else {
+		hostEng = []*sim.Engine{nil, nil}
+	}
+	cl := NewShardedCluster(root, "cl", hostEng, DefaultLinkParams(), DefaultSwitchLatency)
+	cl.Route(0, 40, 1)
+	cl.Route(1, 41, 0)
+
+	var log0, log1 []string
+	cl.SetHostSink(0, &echoSink{e: cl.HostEngine(0), up: cl.Uplink(0), log: &log0, name: "h0"})
+	cl.SetHostSink(1, &echoSink{e: cl.HostEngine(1), up: cl.Uplink(1), reply: 41, log: &log1, name: "h1"})
+
+	// Bursts of back-to-back cells every 100µs: the echoes of one burst are
+	// still in flight when the next burst departs, so windows carry traffic
+	// in both directions at once.
+	h0 := cl.HostEngine(0)
+	for b := 0; b < 20; b++ {
+		at := time.Duration(b) * 100 * time.Microsecond
+		burst := b
+		h0.At(at, func() {
+			for k := 0; k < 4; k++ {
+				var c atm.Cell
+				c.VCI = 40
+				c.Payload[0] = byte(4*burst + k)
+				cl.Uplink(0).Send(c)
+			}
+		})
+	}
+	root.Run()
+	return append(log0, log1...)
+}
+
+func TestShardedClusterMatchesSerial(t *testing.T) {
+	serial := runEchoCluster(false)
+	sharded := runEchoCluster(true)
+	if len(serial) != len(sharded) {
+		t.Fatalf("serial delivered %d cells, sharded %d", len(serial), len(sharded))
+	}
+	if len(serial) != 160 { // 80 cells at h1 + 80 echoes at h0
+		t.Fatalf("delivered %d cells, want 160", len(serial))
+	}
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Fatalf("delivery %d differs:\n  serial : %s\n  sharded: %s", i, serial[i], sharded[i])
+		}
+	}
+}
+
+func TestCrossLinkTimingMatchesLocal(t *testing.T) {
+	// A cross link must deliver at exactly the times a local link produces:
+	// the transmit half owns serialization, the receive half replays flight.
+	lp := LinkParams{CellTime: 3 * us, Propagation: 1 * us}
+
+	le := sim.New(1)
+	lcol := &collector{e: le}
+	ll := NewLink(le, "l", lp, lcol)
+	for i := 0; i < 5; i++ {
+		ll.Send(atm.Cell{VCI: atm.VCI(i)})
+	}
+	le.Run()
+
+	root := sim.New(1)
+	dst := root.NewShard(2)
+	ccol := &collector{e: dst}
+	cl := NewCrossLink(root, dst, "x", lp, ccol)
+	for i := 0; i < 5; i++ {
+		cl.Send(atm.Cell{VCI: atm.VCI(i)})
+	}
+	root.Run()
+
+	if len(ccol.times) != len(lcol.times) {
+		t.Fatalf("cross delivered %d, local %d", len(ccol.times), len(lcol.times))
+	}
+	for i := range lcol.times {
+		if ccol.times[i] != lcol.times[i] || ccol.cells[i].VCI != lcol.cells[i].VCI {
+			t.Fatalf("cell %d: cross (%v, %d) vs local (%v, %d)",
+				i, ccol.times[i], ccol.cells[i].VCI, lcol.times[i], lcol.cells[i].VCI)
+		}
+	}
+}
+
+func TestCrossLinkLookaheadRegistered(t *testing.T) {
+	lp := LinkParams{CellTime: 3 * us, Propagation: 1 * us}
+	root := sim.New(1)
+	dst := root.NewShard(2)
+	NewCrossLink(root, dst, "x", lp, &collector{e: dst})
+	if got := root.Group().Lookahead(); got != 4*us {
+		t.Fatalf("Lookahead = %v, want 4µs", got)
+	}
+	// A second, slower path must not widen the window.
+	NewCrossLink(dst, root, "y", LinkParams{CellTime: 9 * us, Propagation: 1 * us}, &collector{e: root})
+	if got := root.Group().Lookahead(); got != 4*us {
+		t.Fatalf("Lookahead after second link = %v, want 4µs (min)", got)
+	}
+}
+
+func TestCrossLinkRejectsBadEndpoints(t *testing.T) {
+	root := sim.New(1)
+	dst := root.NewShard(2)
+	other := sim.New(3) // not in the group
+	for _, tc := range []struct {
+		name     string
+		src, d   *sim.Engine
+	}{
+		{"foreign src", other, dst},
+		{"foreign dst", root, other},
+		{"same shard", root, root},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewCrossLink did not panic", tc.name)
+				}
+			}()
+			NewCrossLink(tc.src, tc.d, "x", DefaultLinkParams(), &collector{e: tc.d})
+		}()
+	}
+}
+
+func TestSwitchRejectsForeignShardLink(t *testing.T) {
+	root := sim.New(1)
+	s1 := root.NewShard(2)
+	l := NewLink(s1, "l", DefaultLinkParams(), &collector{e: s1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("switch accepted an output link transmitting on another shard")
+		}
+	}()
+	NewSwitchWithLinks(root, "sw", DefaultSwitchLatency, []*Link{l})
+}

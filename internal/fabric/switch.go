@@ -83,11 +83,24 @@ func NewSwitch(e *sim.Engine, name string, nports int, latency time.Duration, lp
 	if len(sinks) != nports {
 		panic(fmt.Sprintf("fabric: %d sinks for %d ports", len(sinks), nports))
 	}
-	s := &Switch{e: e, name: name, latency: latency, routes: make(map[routeKey]int)}
+	out := make([]*Link, nports)
 	for i := 0; i < nports; i++ {
-		s.out = append(s.out, NewLink(e, fmt.Sprintf("%s.port%d", name, i), lp, sinks[i]))
+		out[i] = NewLink(e, fmt.Sprintf("%s.port%d", name, i), lp, sinks[i])
 	}
-	return s
+	return NewSwitchWithLinks(e, name, latency, out)
+}
+
+// NewSwitchWithLinks creates a switch over pre-built output links — the
+// constructor sharded clusters use, where an output port toward a host in
+// another shard is a cross-shard link. Every link's transmitter must run on
+// e, the switch's own shard.
+func NewSwitchWithLinks(e *sim.Engine, name string, latency time.Duration, out []*Link) *Switch {
+	for _, l := range out {
+		if l.Engine() != e {
+			panic(fmt.Sprintf("fabric: switch %s output link %s transmits on a foreign shard", name, l.name))
+		}
+	}
+	return &Switch{e: e, name: name, latency: latency, routes: make(map[routeKey]int), out: out}
 }
 
 // Route installs (or replaces) the output port for a VCI arriving on input

@@ -91,6 +91,9 @@ var _ fabric.TrainSink = (*Device)(nil)
 // New creates a device sending on uplink. Call Start (or use Attach) to
 // run its processor.
 func New(e *sim.Engine, host *unet.Host, params Params, uplink *fabric.Link) *Device {
+	if uplink.Engine() != e {
+		panic(fmt.Sprintf("nic: %s/%s transmits on a foreign shard's uplink", host.Name, params.Name))
+	}
 	d := &Device{
 		name:   host.Name + "/" + params.Name,
 		e:      e,

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sharded execution: a Group partitions one simulation across several
+// Engines ("shards"), each with its own event arena, heap and process set,
+// and runs them on parallel goroutines under a conservative time-window
+// protocol.
+//
+// The scheme exploits the same property of the modeled system that the
+// paper's cluster architecture rests on: hosts interact only through links
+// with a fixed minimum latency (cell serialization plus fiber propagation),
+// so an event executing at virtual time t in one shard cannot affect
+// another shard before t+L, where L is the minimum cross-shard link
+// latency — the group's lookahead. Each round, every shard processes all
+// events strictly before H = m+L (m being the globally earliest pending
+// event), then a barrier is crossed and cross-shard traffic that
+// accumulated in per-pair mailboxes is drained into the destination heaps.
+// Within a window shards share no mutable state, so they run without locks;
+// determinism is preserved because drains happen in a fixed registration
+// order and destination engines assign their usual (timestamp, sequence)
+// tie-break to injected events.
+//
+// The protocol is deadlock-free by construction (no shard ever waits for a
+// message; windows always advance past the earliest event) and needs no
+// null messages.
+
+// Exchange moves messages that crossed a shard boundary into their
+// destination engine. Drain is called by the destination shard's worker
+// goroutine at a window barrier, when no producer is running; every
+// message it delivers must be scheduled at or after the new window's start
+// (guaranteed when producers respect the group lookahead). Exchanges
+// registered for the same destination are drained in registration order,
+// which is what makes cross-shard injection deterministic.
+type Exchange interface {
+	Drain()
+}
+
+// Group coordinates the shards of one simulation. Create it implicitly via
+// Engine.NewShard on the root engine; drive it by calling Run/RunUntil on
+// the root.
+type Group struct {
+	root      *Engine
+	shards    []*Engine
+	lookahead time.Duration
+	exchanges [][]Exchange // per shard id, drained in registration order
+
+	nextAt  []atomic.Int64
+	barrier *spinBarrier
+	aborted atomic.Bool
+	failure atomic.Value // string
+}
+
+// NewShard creates a new shard engine attached to e's group, creating the
+// group on first use (e becomes shard 0, the root). Only the root engine
+// may be driven with Run/RunUntil; shard engines are populated with
+// processes and events and then executed by the group. Shards must be
+// created before the first Run.
+func (e *Engine) NewShard(seed int64) *Engine {
+	if e.group == nil {
+		e.group = &Group{root: e, shards: []*Engine{e}, exchanges: make([][]Exchange, 1)}
+		e.shardID = 0
+	}
+	g := e.group
+	if g.root != e {
+		panic("sim: NewShard must be called on the group's root engine")
+	}
+	s := New(seed)
+	s.group = g
+	s.shardID = len(g.shards)
+	g.shards = append(g.shards, s)
+	g.exchanges = append(g.exchanges, nil)
+	return s
+}
+
+// Group returns the shard group e belongs to (nil for a plain serial
+// engine).
+func (e *Engine) Group() *Group { return e.group }
+
+// ShardID returns e's index within its group (0 for the root or a plain
+// serial engine).
+func (e *Engine) ShardID() int { return e.shardID }
+
+// Shards reports the number of engines in the group, including the root.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// Root returns the group's root engine.
+func (g *Group) Root() *Engine { return g.root }
+
+// AddExchange registers ex to be drained into dst at every window barrier.
+// dst must be an engine of this group. Registration order fixes the drain
+// order, and with it the deterministic tie-break between same-timestamp
+// injections from different sources.
+func (g *Group) AddExchange(dst *Engine, ex Exchange) {
+	if dst.group != g {
+		panic("sim: AddExchange destination is not a member of this group")
+	}
+	g.exchanges[dst.shardID] = append(g.exchanges[dst.shardID], ex)
+}
+
+// ObserveLookahead lower-bounds the group window width with the latency of
+// one cross-shard path: the group lookahead becomes the minimum of all
+// observed values. Every cross-shard message sent at time t must be
+// scheduled at t+d or later, for the d passed here by its path.
+func (g *Group) ObserveLookahead(d time.Duration) {
+	if d <= 0 {
+		panic("sim: cross-shard lookahead must be positive")
+	}
+	if g.lookahead == 0 || d < g.lookahead {
+		g.lookahead = d
+	}
+}
+
+// Lookahead returns the group's conservative window width.
+func (g *Group) Lookahead() time.Duration { return g.lookahead }
+
+const noEvent = int64(math.MaxInt64)
+
+// run executes the sharded simulation until global quiescence, or until
+// every pending event lies beyond limit (limit < 0 means no limit). It is
+// entered through Run/RunUntil on the root engine. The calling goroutine
+// drives shard 0; every other shard gets a worker goroutine that lives for
+// the duration of the call (windows reuse them — the per-window cost is
+// two barrier crossings, not goroutine churn).
+func (g *Group) run(limit time.Duration) time.Duration {
+	if g.hasExchanges() && g.lookahead <= 0 {
+		panic("sim: shard group has exchanges but no lookahead")
+	}
+	n := len(g.shards)
+	if g.nextAt == nil || len(g.nextAt) != n {
+		g.nextAt = make([]atomic.Int64, n)
+	}
+	g.barrier = &spinBarrier{n: int32(n), g: g}
+	var wg sync.WaitGroup
+	for id := 1; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer g.abortOnPanic()
+			g.runShard(id, limit)
+		}(id)
+	}
+	func() {
+		defer g.abortOnPanic()
+		g.runShard(0, limit)
+	}()
+	wg.Wait()
+	if g.aborted.Load() {
+		msg, _ := g.failure.Load().(string)
+		panic("sim: shard aborted: " + msg)
+	}
+	now := g.root.now
+	for _, s := range g.shards {
+		if s.now > now {
+			now = s.now
+		}
+	}
+	return now
+}
+
+func (g *Group) hasExchanges() bool {
+	for _, exs := range g.exchanges {
+		if len(exs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// abortOnPanic converts a shard panic into a group-wide abort so the
+// remaining shards do not spin on a barrier that will never fill. The panic
+// is swallowed here — a worker goroutine must not crash the process — and
+// re-raised by run on the caller's goroutine once every shard has stopped.
+// Only the first failure is recorded; the cascade panics the other shards
+// raise when they observe the abort are not it.
+func (g *Group) abortOnPanic() {
+	if r := recover(); r != nil {
+		if g.aborted.CompareAndSwap(false, true) {
+			g.failure.Store(fmt.Sprint(r))
+		}
+	}
+}
+
+// runShard is the per-shard worker loop: drain, publish, agree on the next
+// window, process it. Two barrier crossings per window.
+func (g *Group) runShard(id int, limit time.Duration) {
+	e := g.shards[id]
+	lookahead := g.lookahead
+	if lookahead <= 0 {
+		// No cross-shard paths: the shards are independent simulations and
+		// can each run to completion in one pass.
+		e.runWindow(stopFor(limit))
+		e.alignNow(limit)
+		return
+	}
+	for {
+		// Barrier phase A: producers are quiescent; move cross-shard traffic
+		// into this shard's heap, then publish the earliest pending event.
+		for _, ex := range g.exchanges[id] {
+			ex.Drain()
+		}
+		next := noEvent
+		if len(e.events) > 0 {
+			next = int64(e.events[0].at)
+		}
+		g.nextAt[id].Store(next)
+		g.barrier.wait()
+
+		// Phase B: every shard sees the same published times and reaches the
+		// same verdict, so termination needs no extra coordination.
+		m := noEvent
+		for i := range g.nextAt {
+			if v := g.nextAt[i].Load(); v < m {
+				m = v
+			}
+		}
+		if m == noEvent || (limit >= 0 && m > int64(limit)) {
+			e.alignNow(limit)
+			return
+		}
+		h := time.Duration(m) + lookahead
+		if stop := stopFor(limit); h > stop {
+			h = stop
+		}
+		e.runWindow(h)
+		g.barrier.wait() // end of window: appends to mailboxes are complete
+	}
+}
+
+// stopFor converts RunUntil's inclusive limit into runWindow's exclusive
+// bound.
+func stopFor(limit time.Duration) time.Duration {
+	if limit < 0 || limit >= math.MaxInt64-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return limit + 1
+}
+
+// alignNow reproduces serial RunUntil's clock semantics at the end of a
+// bounded run: the clock advances to the limit only when events remain
+// beyond it.
+func (e *Engine) alignNow(limit time.Duration) {
+	if limit >= 0 && len(e.events) > 0 && limit > e.now {
+		e.now = limit
+	}
+}
+
+// shutdown terminates every shard's processes (root last, matching the
+// order resources were created in reverse).
+func (g *Group) shutdown() {
+	for i := len(g.shards) - 1; i >= 1; i-- {
+		g.shards[i].shutdownLocal()
+	}
+	g.root.shutdownLocal()
+}
+
+// spinBarrier is a sense-reversing barrier tuned for short simulation
+// windows: arrivals spin briefly (cheap when all shards run on their own
+// core) and fall back to yielding, so oversubscribed machines — including
+// GOMAXPROCS=1 race runs — make progress. The atomics double as the
+// happens-before edges that hand mailbox ownership between producer and
+// consumer shards.
+type spinBarrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint32
+	g     *Group
+}
+
+func (b *spinBarrier) wait() {
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for spins := 0; b.gen.Load() == gen; spins++ {
+		if b.g != nil && b.g.aborted.Load() {
+			panic("sim: peer shard failed")
+		}
+		if spins > 128 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shardMsg is a message crossing shards in tests: fire fn at time at on the
+// destination engine.
+type shardMsg struct {
+	at time.Duration
+	fn func()
+}
+
+// testMailbox is a minimal cross-shard channel for exercising the window
+// protocol directly: the producer shard appends during its window, the
+// destination drains at the barrier. Mirrors what fabric's cross links do.
+type testMailbox struct {
+	dst     *Engine
+	pending []shardMsg
+}
+
+func (m *testMailbox) send(at time.Duration, fn func()) {
+	m.pending = append(m.pending, shardMsg{at: at, fn: fn})
+}
+
+func (m *testMailbox) Drain() {
+	for _, msg := range m.pending {
+		m.dst.At(msg.at, msg.fn)
+	}
+	m.pending = m.pending[:0]
+}
+
+func newTestMailbox(g *Group, dst *Engine) *testMailbox {
+	m := &testMailbox{dst: dst}
+	g.AddExchange(dst, m)
+	return m
+}
+
+func TestShardGroupIndependentShards(t *testing.T) {
+	root := New(1)
+	s1 := root.NewShard(2)
+	var a, b time.Duration
+	root.After(5*time.Millisecond, func() { a = root.Now() })
+	s1.After(9*time.Millisecond, func() { b = s1.Now() })
+	end := root.Run()
+	if a != 5*time.Millisecond || b != 9*time.Millisecond {
+		t.Fatalf("events fired at %v / %v", a, b)
+	}
+	if end != 9*time.Millisecond {
+		t.Fatalf("Run returned %v, want 9ms (max over shards)", end)
+	}
+}
+
+func TestShardEngineRejectsDirectRun(t *testing.T) {
+	root := New(1)
+	s1 := root.NewShard(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on a shard engine did not panic")
+		}
+	}()
+	s1.Run()
+}
+
+func TestShardCrossTrafficRespectsLookahead(t *testing.T) {
+	// Shard 0 pings shard 1 every 100µs with a 10µs flight time; each ping
+	// triggers a pong back. All deliveries must land at exactly the times a
+	// serial simulation would produce.
+	const flight = 10 * time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newTestMailbox(g, s1)
+	toRoot := newTestMailbox(g, root)
+	g.ObserveLookahead(flight)
+
+	var pings, pongs []time.Duration
+	var pongBack func()
+	pongBack = func() {
+		pings = append(pings, s1.Now())
+		now := s1.Now()
+		toRoot.send(now+flight, func() { pongs = append(pongs, root.Now()) })
+	}
+	for i := 1; i <= 50; i++ {
+		at := time.Duration(i) * 100 * time.Microsecond
+		fire := at // capture
+		root.At(at, func() { toS1.send(fire+flight, pongBack) })
+	}
+	root.Run()
+
+	if len(pings) != 50 || len(pongs) != 50 {
+		t.Fatalf("got %d pings, %d pongs, want 50 each", len(pings), len(pongs))
+	}
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i+1) * 100 * time.Microsecond
+		if pings[i] != at+flight {
+			t.Fatalf("ping %d at %v, want %v", i, pings[i], at+flight)
+		}
+		if pongs[i] != at+2*flight {
+			t.Fatalf("pong %d at %v, want %v", i, pongs[i], at+2*flight)
+		}
+	}
+}
+
+func TestShardSameTimestampMergeIsRegistrationOrder(t *testing.T) {
+	// Two producer shards inject events at the *same* timestamp into the
+	// same destination. The merge order must follow exchange registration
+	// order, run after run, regardless of goroutine scheduling.
+	const flight = time.Microsecond
+	trial := func() []int {
+		root := New(1)
+		a := root.NewShard(2)
+		b := root.NewShard(3)
+		g := root.Group()
+		fromA := newTestMailbox(g, root)
+		fromB := newTestMailbox(g, root)
+		g.ObserveLookahead(flight)
+
+		var order []int
+		for i := 0; i < 20; i++ {
+			at := time.Duration(i) * 10 * time.Microsecond
+			a.At(at, func() { fromA.send(a.Now()+flight, func() { order = append(order, 0) }) })
+			b.At(at, func() { fromB.send(b.Now()+flight, func() { order = append(order, 1) }) })
+		}
+		root.Run()
+		return order
+	}
+	first := trial()
+	if len(first) != 40 {
+		t.Fatalf("got %d events, want 40", len(first))
+	}
+	for i := 0; i < 40; i += 2 {
+		// fromA registered before fromB: at every shared timestamp the A
+		// event must execute first.
+		if first[i] != 0 || first[i+1] != 1 {
+			t.Fatalf("merge order at pair %d: %v", i/2, first[i:i+2])
+		}
+	}
+	for run := 0; run < 10; run++ {
+		got := trial()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("run %d diverged at %d", run, i)
+			}
+		}
+	}
+}
+
+func TestShardRunUntilClockSemantics(t *testing.T) {
+	root := New(1)
+	s1 := root.NewShard(2)
+	var n atomic.Int32
+	root.After(time.Millisecond, func() { n.Add(1) })
+	s1.After(2*time.Millisecond, func() { n.Add(1) })
+	s1.After(8*time.Millisecond, func() { n.Add(1) })
+	end := root.RunUntil(5 * time.Millisecond)
+	if n.Load() != 2 {
+		t.Fatalf("fired %d events before limit, want 2", n.Load())
+	}
+	// Events remain beyond the limit: the clock parks at the limit, exactly
+	// as a serial engine's RunUntil would.
+	if end != 5*time.Millisecond {
+		t.Fatalf("RunUntil returned %v, want 5ms", end)
+	}
+	end = root.Run()
+	if n.Load() != 3 || end != 8*time.Millisecond {
+		t.Fatalf("after Run: n=%d end=%v", n.Load(), end)
+	}
+}
+
+func TestShardPanicAborts(t *testing.T) {
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	newTestMailbox(g, s1)
+	g.ObserveLookahead(time.Microsecond)
+	// Keep both shards busy so the healthy one is parked at a barrier when
+	// the other dies.
+	for i := 1; i <= 100; i++ {
+		root.At(time.Duration(i)*time.Microsecond, func() {})
+		s1.At(time.Duration(i)*time.Microsecond, func() {})
+	}
+	s1.At(50*time.Microsecond, func() { panic("injected shard failure") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("group run did not propagate the shard panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "injected shard failure") {
+			t.Fatalf("propagated panic %v does not carry the original failure", r)
+		}
+	}()
+	root.Run()
+}
+
+func TestShardGroupShutdown(t *testing.T) {
+	root := New(1)
+	s1 := root.NewShard(2)
+	var stopped atomic.Int32
+	root.Spawn("r", func(p *Proc) {
+		defer stopped.Add(1)
+		p.Sleep(time.Hour)
+	})
+	s1.Spawn("s", func(p *Proc) {
+		defer stopped.Add(1)
+		p.Sleep(time.Hour)
+	})
+	root.RunUntil(time.Millisecond)
+	root.Shutdown()
+	if stopped.Load() != 2 {
+		t.Fatalf("shutdown unwound %d procs, want 2", stopped.Load())
+	}
+}
+
+func TestShardLookaheadValidation(t *testing.T) {
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ObserveLookahead(0) did not panic")
+			}
+		}()
+		g.ObserveLookahead(0)
+	}()
+	// Exchanges registered but no lookahead observed: the window protocol
+	// has no safe width and must refuse to run.
+	newTestMailbox(g, s1)
+	defer func() {
+		if recover() == nil {
+			t.Error("run with exchanges but no lookahead did not panic")
+		}
+	}()
+	root.Run()
+}

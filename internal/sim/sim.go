@@ -23,6 +23,10 @@
 // live entries, so long-running simulations with many canceled timeouts
 // (TCP retransmission timers, condition waits) do not grow the queue
 // unboundedly.
+//
+// One simulation can also be partitioned across several engines — shards —
+// that execute on parallel goroutines under a conservative time-window
+// protocol while preserving the serial engine's determinism; see shard.go.
 package sim
 
 import (
@@ -53,6 +57,10 @@ type Engine struct {
 	rng     *rand.Rand
 	tracer  func(at time.Duration, who, msg string)
 	nsteps  uint64
+	// group and shardID place the engine in a sharded simulation (nil /
+	// zero for a plain serial engine). See shard.go.
+	group   *Group
+	shardID int
 }
 
 // New returns an engine with its virtual clock at zero and randomness
@@ -227,15 +235,28 @@ func (e *Engine) Run() time.Duration {
 
 // RunUntil processes events with firing times ≤ limit (limit < 0 means no
 // limit) and returns the virtual time reached. Events beyond the limit stay
-// queued.
+// queued. On the root engine of a shard group this drives the whole group;
+// calling it on a non-root shard is an error.
 func (e *Engine) RunUntil(limit time.Duration) time.Duration {
+	if e.group != nil {
+		if e.group.root != e {
+			panic("sim: Run/RunUntil on a shard engine; drive the group's root engine")
+		}
+		return e.group.run(limit)
+	}
+	e.runWindow(stopFor(limit))
+	e.alignNow(limit)
+	return e.now
+}
+
+// runWindow processes events with firing times strictly before stop. It is
+// the serial engine's whole main loop (RunUntil passes limit+1) and one
+// conservative window of a sharded run.
+func (e *Engine) runWindow(stop time.Duration) {
 	for len(e.events) > 0 {
 		next := e.events[0]
-		if limit >= 0 && next.at > limit {
-			if limit > e.now {
-				e.now = limit
-			}
-			return e.now
+		if next.at >= stop {
+			return
 		}
 		e.events.pop()
 		if next.canceled {
@@ -273,7 +294,6 @@ func (e *Engine) RunUntil(limit time.Duration) time.Duration {
 			}
 		}
 	}
-	return e.now
 }
 
 // maybeCompact rebuilds the heap without its canceled entries once they
@@ -304,7 +324,16 @@ func (e *Engine) maybeCompact() {
 // Shutdown terminates every live process (blocked or sleeping) by unwinding
 // its goroutine, then discards pending events. Call when a simulation is
 // finished to avoid leaking goroutines; the engine must not be used after.
+// On the root engine of a shard group it shuts every shard down.
 func (e *Engine) Shutdown() {
+	if e.group != nil && e.group.root == e {
+		e.group.shutdown()
+		return
+	}
+	e.shutdownLocal()
+}
+
+func (e *Engine) shutdownLocal() {
 	for p := range e.procs {
 		p.killed = true
 	}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimerCancelReuseAtSameTimestamp is the regression test for the pooled
+// arena's generation check under lazy cancel compaction: canceling more
+// than half the queue triggers a wholesale compaction that recycles the
+// canceled entries; new timers scheduled at the *same* timestamp then reuse
+// those exact event structs. A stale Timer handle held across the recycle
+// must report not-pending and must not cancel the reincarnated event — the
+// generation check wins over heap position every time.
+func TestTimerCancelReuseAtSameTimestamp(t *testing.T) {
+	e := New(1)
+	const at = time.Millisecond
+	const n = 100
+	fired := make(map[int]bool)
+	order := []int{}
+
+	timers := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = e.At(at, func() { fired[i] = true; order = append(order, i) })
+	}
+	// Cancel 80 of 100: compaction triggers as soon as canceled entries
+	// outnumber live ones (needs ≥ 64 queued), well before the last Cancel.
+	for i := 0; i < 80; i++ {
+		if !timers[i].Cancel() {
+			t.Fatalf("Cancel %d reported not-pending on a pending timer", i)
+		}
+	}
+	if e.PendingEvents() >= n {
+		t.Fatalf("compaction never ran: %d entries still queued", e.PendingEvents())
+	}
+
+	// Reuse: these allocations come out of the arena free list — the very
+	// structs the canceled timers still point at — at the same timestamp.
+	for i := 0; i < 80; i++ {
+		i := i
+		e.At(at, func() { fired[n+i] = true; order = append(order, n+i) })
+	}
+	// The stale handles point at recycled (and now re-armed) events. Their
+	// generation is old: Cancel must be a no-op on the new events.
+	for i := 0; i < 80; i++ {
+		if timers[i].Cancel() {
+			t.Fatalf("stale Cancel %d claimed to cancel a reincarnated event", i)
+		}
+	}
+	// Canceling an already-canceled (or fired) timer again stays false.
+	if timers[0].Cancel() {
+		t.Fatal("double Cancel reported pending")
+	}
+
+	e.Run()
+	if len(order) != 100 {
+		t.Fatalf("%d events fired, want 100 (20 survivors + 80 reused)", len(order))
+	}
+	// Survivors fire first (older seq), in scheduling order; then the
+	// reused timers in their scheduling order.
+	for k := 0; k < 20; k++ {
+		if order[k] != 80+k {
+			t.Fatalf("position %d fired id %d, want survivor %d", k, order[k], 80+k)
+		}
+	}
+	for k := 0; k < 80; k++ {
+		if order[20+k] != n+k {
+			t.Fatalf("position %d fired id %d, want reused %d", 20+k, order[20+k], n+k)
+		}
+	}
+	for i := 80; i < n; i++ {
+		if !fired[i] {
+			t.Fatalf("survivor %d never fired", i)
+		}
+	}
+}
+
+// TestTimerCompactionPreservesSameTimestampOrder forces a compaction (which
+// re-heapifies the live entries) in the middle of a same-timestamp batch
+// and checks that the surviving events still fire in scheduling order.
+func TestTimerCompactionPreservesSameTimestampOrder(t *testing.T) {
+	e := New(1)
+	const at = time.Millisecond
+	var order []int
+	var timers []Timer
+	for i := 0; i < 128; i++ {
+		i := i
+		timers = append(timers, e.At(at, func() { order = append(order, i) }))
+	}
+	// Cancel every even-indexed timer: 64 canceled vs 64 live triggers the
+	// lazy compaction threshold exactly once the count tips over.
+	for i := 0; i < 128; i += 2 {
+		timers[i].Cancel()
+	}
+	e.Run()
+	if len(order) != 64 {
+		t.Fatalf("%d events fired, want 64", len(order))
+	}
+	for k, id := range order {
+		if id != 2*k+1 {
+			t.Fatalf("position %d fired id %d, want %d (scheduling order)", k, id, 2*k+1)
+		}
+	}
+}
+
+// TestAfterZeroOrdering pins the After(0) contract: a zero-delay callback
+// scheduled from within a callback fires at the same virtual time but after
+// every event already queued for that instant, in scheduling order.
+func TestAfterZeroOrdering(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.At(time.Microsecond, func() {
+		order = append(order, "first")
+		e.After(0, func() { order = append(order, "zero-a") })
+		e.After(0, func() { order = append(order, "zero-b") })
+	})
+	e.At(time.Microsecond, func() { order = append(order, "second") })
+	end := e.Run()
+	want := []string{"first", "second", "zero-a", "zero-b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != time.Microsecond {
+		t.Fatalf("After(0) advanced the clock: end = %v", end)
+	}
+}
+
+// TestAfterZeroResumeOrdering pins the same-instant ordering between a
+// process resume and a callback: resume events take their sequence number
+// when Sleep runs, not when the process was spawned. Here the callback is
+// queued for T before the process (started at t=0) calls Sleep, so at T the
+// callback fires first — scheduling order, not creation order.
+func TestAfterZeroResumeOrdering(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(time.Microsecond) // resume seq assigned here, at t=0, after cb's
+		order = append(order, "proc")
+	})
+	e.At(time.Microsecond, func() { order = append(order, "cb") })
+	e.Run()
+	if len(order) != 2 || order[0] != "cb" || order[1] != "proc" {
+		t.Fatalf("order = %v, want [cb proc] (seq assigned at Sleep time)", order)
+	}
+}

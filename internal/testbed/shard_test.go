@@ -1,0 +1,83 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unet/internal/unet"
+)
+
+// pingPongAt runs the standard pair ping-pong on a testbed with the given
+// shard layout and returns the measured RTT.
+func pingPongAt(t *testing.T, shards int) time.Duration {
+	t.Helper()
+	tb := New(Config{Hosts: 2, Shards: shards})
+	defer tb.Close()
+	pr, err := tb.NewPair(0, 1, unet.EndpointConfig{}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr.PingPong(20, 32)
+}
+
+func TestShardedPairMatchesSerial(t *testing.T) {
+	serial := pingPongAt(t, 0)
+	if serial <= 0 {
+		t.Fatalf("serial RTT = %v", serial)
+	}
+	for _, k := range []int{1, 2, 4} {
+		if got := pingPongAt(t, k); got != serial {
+			t.Fatalf("shards=%d RTT %v != serial %v", k, got, serial)
+		}
+	}
+}
+
+// stormAt renders an all-to-all storm's full result set as a string so runs
+// can be compared byte-for-byte.
+func stormAt(t *testing.T, hosts, shards, count int) string {
+	t.Helper()
+	tb := New(Config{Hosts: hosts, Shards: shards})
+	defer tb.Close()
+	mesh, err := tb.NewMesh(unet.EndpointConfig{SegmentSize: 1 << 20}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, end := mesh.Storm(count, 1024)
+	out := fmt.Sprintf("end=%v\n", end)
+	for i, r := range res {
+		out += fmt.Sprintf("host%d sent=%d recv=%d last=%v\n", i, r.Sent, r.Received, r.LastRecv)
+	}
+	return out
+}
+
+func TestShardedStormMatchesSerial(t *testing.T) {
+	// The storm contends for shared switch output ports from every input at
+	// once — the hardest case for cross-shard determinism.
+	serial := stormAt(t, 8, 0, 50)
+	for _, k := range []int{2, 4, 8} {
+		if got := stormAt(t, 8, k, 50); got != serial {
+			t.Fatalf("shards=%d diverged:\n--- serial ---\n%s--- sharded ---\n%s", k, serial, got)
+		}
+	}
+}
+
+func TestShardedStormCompletes(t *testing.T) {
+	res, _ := func() ([]StormResult, time.Duration) {
+		tb := New(Config{Hosts: 4, Shards: 4})
+		defer tb.Close()
+		mesh, err := tb.NewMesh(unet.EndpointConfig{SegmentSize: 1 << 20}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mesh.Storm(30, 256)
+	}()
+	for i, r := range res {
+		if r.Sent != 30 {
+			t.Fatalf("host %d sent %d, want 30", i, r.Sent)
+		}
+		if r.Received == 0 {
+			t.Fatalf("host %d received nothing", i)
+		}
+	}
+}

@@ -29,6 +29,12 @@ type Config struct {
 	Link *fabric.LinkParams
 	// SwitchLatency is the ASX-200 forwarding latency (default 2 µs).
 	SwitchLatency time.Duration
+	// Shards selects the parallel execution layout: 0 or 1 builds the
+	// classic serial testbed (hosts and switch on one engine); k ≥ 2
+	// partitions the hosts round-robin onto min(k, Hosts) shard engines,
+	// each run on its own goroutine under the conservative window protocol
+	// (see internal/sim shard.go). Results are byte-identical to serial.
+	Shards int
 }
 
 // Testbed is an assembled cluster.
@@ -65,11 +71,24 @@ func New(cfg Config) *Testbed {
 	}
 
 	e := sim.New(cfg.Seed)
-	fc := fabric.NewCluster(e, "atm", cfg.Hosts, link, cfg.SwitchLatency)
+	hostEng := make([]*sim.Engine, cfg.Hosts)
+	if k := cfg.Shards; k > 1 {
+		if k > cfg.Hosts {
+			k = cfg.Hosts
+		}
+		shardEng := make([]*sim.Engine, k)
+		for j := 0; j < k; j++ {
+			shardEng[j] = e.NewShard(cfg.Seed + int64(j) + 1)
+		}
+		for i := range hostEng {
+			hostEng[i] = shardEng[i%k]
+		}
+	}
+	fc := fabric.NewShardedCluster(e, "atm", hostEng, link, cfg.SwitchLatency)
 	m := unet.NewManager(fc)
 	tb := &Testbed{Eng: e, Fabric: fc, Manager: m}
 	for i := 0; i < cfg.Hosts; i++ {
-		h := unet.NewHost(e, fmt.Sprintf("host%d", i), node)
+		h := unet.NewHost(fc.HostEngine(i), fmt.Sprintf("host%d", i), node)
 		d := nic.Attach(h, fc, m, i, nicp)
 		tb.Hosts = append(tb.Hosts, h)
 		tb.Devices = append(tb.Devices, d)

@@ -2,30 +2,40 @@
 # bench.sh — the PR-gate performance run.
 #
 # 1. Tier-1: build + full test suite (the calibration gates).
-# 2. Race check on the simulation kernel and the parallel sweep pool.
-# 3. Microbenchmarks (engine, fabric) and the end-to-end Figure 4 sweep,
-#    saved as benchstat-compatible text and summarized into BENCH_PR1.json.
+# 2. Race check on the simulation kernel (incl. shard protocol), the
+#    fabric, the NIC models and the parallel sweep pool, plus the sharded
+#    golden check (byte-identical output at every shard count).
+# 3. Microbenchmarks (engine, fabric), the end-to-end Figure 4 sweep, and
+#    the serial-vs-sharded 8-host cluster storm, saved as
+#    benchstat-compatible text and summarized into the output JSON.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR1.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR2.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 txt="${out%.json}.txt"
 
 echo "== tier-1: go build ./... && go test ./..." >&2
 go build ./...
 go test ./...
 
-echo "== race: internal/sim, internal/experiments" >&2
+echo "== race: internal/sim, internal/fabric, internal/nic, internal/experiments" >&2
 go test -race ./internal/sim/...
+go test -race ./internal/fabric/...
+go test -race ./internal/nic/...
 GOMAXPROCS=4 go test -race -run 'Golden' ./internal/experiments/
+
+echo "== sharded golden check (byte-identical at every shard count)" >&2
+GOMAXPROCS=4 go test -run 'TestGoldenShardSweep' ./internal/experiments/
+go test -run 'TestSharded' ./internal/testbed/
 
 echo "== benchmarks (benchstat-compatible: $txt)" >&2
 go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkLink_|BenchmarkSwitch_' \
 	-benchmem -benchtime 200000x -count 3 \
 	./internal/sim/ ./internal/fabric/ | tee "$txt"
 go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchtime 3x -count 3 . | tee -a "$txt"
+go test -run '^$' -bench 'BenchmarkCluster_Sharded' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 
 echo "== summarizing into $out" >&2
 go run ./scripts/benchjson "$txt" "$out"

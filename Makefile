@@ -1,11 +1,17 @@
 # U-Net simulation repo. Tier-1 verification is `make check`; `make bench`
 # is the PR performance gate (tier-1 + race + benchmarks + $(BENCH_OUT));
-# `make ci` mirrors the GitHub Actions workflow.
+# `make lint` runs the determinism lint suite (DESIGN.md §9); `make ci`
+# mirrors the GitHub Actions workflow.
 
 GO ?= go
 BENCH_OUT ?= BENCH_PR2.json
+FUZZTIME ?= 10s
 
-.PHONY: all build check test race shardcheck bench ci clean
+# Pinned external linter versions (kept in sync with .github/workflows/ci.yml).
+STATICCHECK_VERSION = 2025.1.1
+GOVULNCHECK_VERSION = v1.1.4
+
+.PHONY: all build check test race shardcheck lint lint-extra fuzz bench ci clean
 
 all: build
 
@@ -27,8 +33,34 @@ shardcheck:
 	GOMAXPROCS=4 $(GO) test -run 'TestGoldenShardSweep' ./internal/experiments/
 	$(GO) test -run 'TestSharded' ./internal/testbed/
 
-ci: build
+# lint runs go vet plus unetlint, the repo's own determinism analyzers
+# (nondeterminism, rawgo, mapiter, costcharge — see DESIGN.md §9).
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/unetlint ./...
+
+# lint-extra adds the external linters when they are installed (CI installs
+# them at the pinned versions above; locally they are optional).
+lint-extra: lint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION))"; \
+	fi
+
+# fuzz gives each AAL5/wire fuzz target a short deterministic-budget run
+# (the seed corpus always runs as part of `make test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzAAL5RoundTrip' -fuzztime $(FUZZTIME) ./internal/atm/
+	$(GO) test -run '^$$' -fuzz 'FuzzCellHeader' -fuzztime $(FUZZTIME) ./internal/atm/
+
+ci: build
+	$(MAKE) lint
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) shardcheck

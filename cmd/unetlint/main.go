@@ -1,0 +1,78 @@
+// Command unetlint is the multichecker for the repo's determinism lint
+// suite (internal/lint): it type-checks the requested packages — test
+// files included — and runs every analyzer that machine-checks the
+// simulator's reproducibility invariants (DESIGN.md §9).
+//
+// Usage:
+//
+//	unetlint [-only nondeterminism,rawgo] [packages]
+//
+// Packages default to ./... . The exit status is 1 when any finding is
+// reported, so `make lint` (and CI) fail on a new violation; intentional
+// exceptions are annotated in source with //unetlint:allow <analyzer>
+// <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"unet/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range lint.All {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "unetlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unetlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.RunUnits(units, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "unetlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -73,6 +73,7 @@ func UAMPingPong(cfg uam.Config, size, rounds int) time.Duration {
 	payload := make([]byte, size)
 	// done crosses hosts — and, when sharded, goroutines. It flips only
 	// after the measurement is complete, so it never perturbs timing.
+	//unetlint:allow rawgo cross-shard completion flag; set once after measurement, ordered by the group's window barriers
 	var done atomic.Bool
 	gotReply := false
 	b.RegisterHandler(hEcho, func(u *uam.UAM, p *sim.Proc, src int, arg uint32, data []byte) {
@@ -118,6 +119,7 @@ func UAMStoreBandwidth(cfg uam.Config, size, count int) float64 {
 	tb, a, b := uamPairTB(cfg)
 	defer tb.Close()
 	block := make([]byte, size)
+	//unetlint:allow rawgo cross-shard completion flag; set once after measurement, ordered by the group's window barriers
 	var done atomic.Bool
 	var elapsed time.Duration
 	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
@@ -151,6 +153,7 @@ func UAMStoreBandwidth(cfg uam.Config, size, count int) float64 {
 func UAMGetBandwidth(cfg uam.Config, size, count int) float64 {
 	tb, a, b := uamPairTB(cfg)
 	defer tb.Close()
+	//unetlint:allow rawgo cross-shard completion flag; set once after measurement, ordered by the group's window barriers
 	var done atomic.Bool
 	var elapsed time.Duration
 	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {

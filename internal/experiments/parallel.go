@@ -16,6 +16,8 @@ var MaxParallel = 0
 // ParallelPoints runs fn(0), …, fn(n-1) across a bounded worker pool and
 // returns when all have finished. fn must not touch state shared with other
 // points except its own result slot.
+//
+//unetlint:allow rawgo wall-clock worker pool over independent engines; each point owns its seed and result slot, so output is order-free (golden tests assert serial == parallel)
 func ParallelPoints(n int, fn func(i int)) {
 	workers := MaxParallel
 	if workers <= 0 {

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CostCharge checks the paper's processing-overhead model (§2.1): every
+// exported NIC/fabric method that moves cells — the fast paths — must
+// account virtual time for the work, either directly (advancing a cost
+// cursor, sleeping, referencing a calibrated cost/latency parameter) or by
+// delegating to a method in the same package that does. A data-moving
+// method that charges nothing models infinitely fast hardware and skews
+// every calibrated figure.
+//
+// A method is considered a fast path when it is an exported method whose
+// parameters include a cell (a named type Cell, possibly a slice or
+// pointer). Charging evidence is searched transitively across same-package
+// calls; intake paths that legitimately cost nothing (a FIFO accepting an
+// already-paid-for arrival) carry an //unetlint:allow costcharge
+// annotation naming where the cost is charged instead.
+var CostCharge = &Analyzer{
+	Name: "costcharge",
+	Doc:  "require exported NIC/fabric cell-moving methods to charge virtual-time cost",
+	Run:  runCostCharge,
+}
+
+// chargeCalls are callee names that unambiguously spend virtual time.
+var chargeCalls = map[string]bool{
+	"Sleep":      true,
+	"SleepUntil": true,
+	"WaitReady":  true,
+	"syncTo":     true,
+	"charge":     true,
+	"Charge":     true,
+}
+
+// costNameSuffixes mark selectors that read a calibrated timing parameter.
+var costNameSuffixes = []string{"Cost", "Time", "Latency", "Overhead", "PerCell", "Fixed"}
+
+// costIdents are local names whose mention shows cursor arithmetic.
+var costIdents = map[string]bool{"cursor": true, "latency": true}
+
+func runCostCharge(pass *Pass) {
+	seg := simSegment(pass.Unit.PkgPath)
+	if (seg != "nic" && seg != "fabric") || pass.Unit.ForTest {
+		return
+	}
+
+	// Collect every function declared in the unit and whether it directly
+	// charges cost.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	charges := make(map[*types.Func]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	for _, f := range pass.Unit.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Unit.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if directlyCharges(pass, fd) {
+				charges[fn] = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := calleeFunc(pass, call); callee != nil {
+						callees[fn] = append(callees[fn], callee)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate: a function charges if anything it calls (within this
+	// package) charges.
+	for changed := true; changed; {
+		changed = false
+		for fn := range decls {
+			if charges[fn] {
+				continue
+			}
+			for _, callee := range callees[fn] {
+				if charges[callee] {
+					charges[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for fn, fd := range decls {
+		if fd.Recv == nil || !fd.Name.IsExported() || charges[fn] {
+			continue
+		}
+		if strings.HasSuffix(pass.Unit.Fset.Position(fd.Pos()).Filename, "_test.go") {
+			continue
+		}
+		if !hasCellParam(fn) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(), "exported fast-path method %s moves cells but never charges a virtual-time cost (no cursor arithmetic, sleep, or cost-parameter reference, directly or via same-package calls)", fd.Name.Name)
+	}
+}
+
+// directlyCharges reports whether fd's body contains first-hand charging
+// evidence.
+func directlyCharges(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			var name string
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if chargeCalls[name] {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if _, isPkg := pass.Unit.Info.Uses[id].(*types.PkgName); isPkg {
+					return true // time.Duration etc.: a package reference, not a cost table
+				}
+			}
+			if isCostName(n.Sel.Name) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if costIdents[n.Name] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isCostName(name string) bool {
+	if costIdents[name] {
+		return true
+	}
+	for _, suf := range costNameSuffixes {
+		if strings.HasSuffix(name, suf) && name != suf {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCellParam reports whether fn takes a cell (Cell, *Cell, or []Cell by
+// named-type name) among its parameters.
+func hasCellParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		switch u := t.(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Pointer:
+			t = u.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Cell" {
+			return true
+		}
+	}
+	return false
+}

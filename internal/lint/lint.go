@@ -1,0 +1,242 @@
+// Package lint implements unetlint, the repo's determinism lint suite:
+// static analyzers that machine-check the invariants behind the simulator's
+// byte-identical golden outputs (DESIGN.md §9).
+//
+// The simulator's headline guarantee — Table 3 and Figures 3/4/7 reproduce
+// bit-for-bit at any shard count — rests on rules no Go compiler enforces:
+// simulated code must take time only from the virtual clock, randomness
+// only from the engine's seeded source, concurrency only through the shard
+// runtime's conservative-window protocol, and must never let Go's
+// randomized map iteration order reach an event or an output. The
+// analyzers in this package check those rules on every build.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// diagnostics, testdata fixtures with // want comments) but is built on the
+// standard library alone: packages are loaded via `go list -deps -export`
+// and type-checked against the build cache's compiled export data.
+//
+// # Annotation grammar
+//
+// A finding is suppressed by an allow directive naming the analyzer and
+// giving a reason:
+//
+//	//unetlint:allow <analyzer> <reason...>
+//
+// The directive applies to diagnostics on its own line, on the line
+// directly below it, or — when it appears in (or directly above) a
+// function declaration's doc comment — anywhere in that function. A
+// directive without a reason, or naming an unknown analyzer, is itself a
+// diagnostic: every suppression is forced to document why the invariant
+// does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All is the unetlint suite, in reporting order. It is populated in init
+// to break the static initialization cycle between the analyzers (whose
+// Run closures validate directives against the suite) and the suite list.
+var All []*Analyzer
+
+func init() {
+	All = []*Analyzer{Nondeterminism, RawGo, MapIter, CostCharge}
+}
+
+// Diagnostic is one finding, resolved to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer run over one unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *Unit
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an allow directive for this
+// analyzer covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Unit.suppressed(p.Analyzer.Name, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Unit.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directive is one parsed //unetlint:allow comment.
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+const directivePrefix = "//unetlint:"
+
+// buildDirectives scans a unit's comments for unetlint directives,
+// recording valid ones and reporting malformed ones. It runs once per
+// unit; validity is judged against the full suite regardless of which
+// analyzers execute.
+func (u *Unit) buildDirectives() {
+	if u.dirBuilt {
+		return
+	}
+	u.dirBuilt = true
+	valid := make(map[string]bool, len(All))
+	for _, a := range All {
+		valid[a.Name] = true
+	}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "allow" {
+					u.dirDiags = append(u.dirDiags, Diagnostic{
+						Analyzer: "unetlint", Pos: pos,
+						Message: fmt.Sprintf("unknown unetlint directive %q (only //unetlint:allow exists)", verb),
+					})
+					continue
+				}
+				fields := strings.Fields(args)
+				if len(fields) == 0 {
+					u.dirDiags = append(u.dirDiags, Diagnostic{
+						Analyzer: "unetlint", Pos: pos,
+						Message: "//unetlint:allow needs an analyzer name and a reason",
+					})
+					continue
+				}
+				if !valid[fields[0]] {
+					u.dirDiags = append(u.dirDiags, Diagnostic{
+						Analyzer: "unetlint", Pos: pos,
+						Message: fmt.Sprintf("//unetlint:allow names unknown analyzer %q", fields[0]),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					u.dirDiags = append(u.dirDiags, Diagnostic{
+						Analyzer: "unetlint", Pos: pos,
+						Message: fmt.Sprintf("//unetlint:allow %s is missing its reason", fields[0]),
+					})
+					continue
+				}
+				u.directives = append(u.directives, directive{
+					analyzer: fields[0],
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+}
+
+// suppressed reports whether an allow directive for analyzer covers pos:
+// same line, the line above, or the doc/declaration line of the enclosing
+// function.
+func (u *Unit) suppressed(analyzer string, pos token.Pos) bool {
+	u.buildDirectives()
+	if len(u.directives) == 0 {
+		return false
+	}
+	position := u.Fset.Position(pos)
+	match := func(line int) bool {
+		for _, d := range u.directives {
+			if d.analyzer == analyzer && d.file == position.Filename && d.line == line {
+				return true
+			}
+		}
+		return false
+	}
+	if match(position.Line) || match(position.Line-1) {
+		return true
+	}
+	for _, f := range u.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			declLine := u.Fset.Position(fd.Pos()).Line
+			if match(declLine) {
+				return true
+			}
+			if fd.Doc != nil {
+				start := u.Fset.Position(fd.Doc.Pos()).Line
+				end := u.Fset.Position(fd.Doc.End()).Line
+				for l := start; l <= end; l++ {
+					if match(l) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// RunUnits executes the given analyzers over the units and returns all
+// findings (including malformed-directive diagnostics), sorted by position.
+func RunUnits(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range units {
+		u.buildDirectives()
+		diags = append(diags, u.dirDiags...)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Unit: u, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// A directive-bearing unit shared between runs would duplicate its
+	// directive diagnostics; drop exact duplicates.
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked body of Go source the analyzers run over: a
+// package together with its in-package test files, or the external
+// (package foo_test) test package of the same directory.
+type Unit struct {
+	// PkgPath is the canonical import path of the directory's package; an
+	// external test unit shares the path of the package under test and sets
+	// ForTest.
+	PkgPath string
+	ForTest bool
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+
+	directives []directive
+	dirDiags   []Diagnostic
+	dirBuilt   bool
+}
+
+// listPkg mirrors the `go list -json` fields the loader consumes.
+type listPkg struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	Export       string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	TestImports  []string
+	XTestImports []string
+	Module       *struct{ Path string }
+}
+
+// goListPackages shells out to the go tool for package metadata and
+// compiled export data. -export is what lets the type checker resolve every
+// import without golang.org/x/tools: the gc importer reads the build
+// cache's export files directly.
+func goListPackages(dir string, patterns []string) ([]*listPkg, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,Standard,GoFiles,TestGoFiles,XTestGoFiles,TestImports,XTestImports,Module",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// depImporter resolves imports from compiled export data located via
+// `go list -export`. Paths missing from the preloaded index (test-only and
+// fixture imports) are listed on demand.
+type depImporter struct {
+	dir     string
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newDepImporter(fset *token.FileSet, dir string, pkgs []*listPkg) *depImporter {
+	d := &depImporter{dir: dir, exports: make(map[string]string)}
+	d.add(pkgs)
+	d.gc = importer.ForCompiler(fset, "gc", d.lookup)
+	return d
+}
+
+func (d *depImporter) add(pkgs []*listPkg) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			d.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+func (d *depImporter) lookup(path string) (io.ReadCloser, error) {
+	f := d.exports[path]
+	if f == "" {
+		pkgs, err := goListPackages(d.dir, []string{path})
+		if err != nil {
+			return nil, err
+		}
+		d.add(pkgs)
+		f = d.exports[path]
+	}
+	if f == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+func (d *depImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return d.gc.Import(path)
+}
+
+// Load type-checks every in-module package matching patterns (with its test
+// files) and returns the units ready for analysis. dir is any directory
+// inside the module; patterns are go package patterns such as ./... or
+// unet/... .
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	fset := token.NewFileSet()
+	pkgs, err := goListPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]*listPkg, len(pkgs))
+	for _, p := range pkgs {
+		index[p.ImportPath] = p
+	}
+
+	// Test files import packages -deps does not cover (testing, and
+	// anything only tests use); fetch their export data in one extra pass.
+	var missing []string
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.Module == nil {
+			continue
+		}
+		for _, imp := range append(append([]string(nil), p.TestImports...), p.XTestImports...) {
+			if imp == "C" || imp == "unsafe" || index[imp] != nil || seen[imp] {
+				continue
+			}
+			seen[imp] = true
+			missing = append(missing, imp)
+		}
+	}
+	imp := newDepImporter(fset, dir, pkgs)
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		more, err := goListPackages(dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		imp.add(more)
+	}
+
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Module == nil {
+			continue
+		}
+		if files := append(append([]string(nil), p.GoFiles...), p.TestGoFiles...); len(files) > 0 {
+			u, err := checkUnit(fset, imp, p.Dir, p.ImportPath, files, false)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			u, err := checkUnit(fset, imp, p.Dir, p.ImportPath, p.XTestGoFiles, true)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].PkgPath != units[j].PkgPath {
+			return units[i].PkgPath < units[j].PkgPath
+		}
+		return !units[i].ForTest && units[j].ForTest
+	})
+	return units, nil
+}
+
+// checkUnit parses and type-checks one unit.
+func checkUnit(fset *token.FileSet, imp types.Importer, dir, pkgPath string, fileNames []string, forTest bool) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	checkPath := pkgPath
+	if forTest {
+		checkPath += "_test"
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(checkPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", checkPath, err)
+	}
+	return &Unit{
+		PkgPath: pkgPath,
+		ForTest: forTest,
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+	}, nil
+}
+
+// LoadFixture loads an analyzer test fixture tree: every directory under
+// root that contains .go files becomes one unit whose PkgPath is its
+// slash-separated path relative to root. Fixture packages may import only
+// the standard library.
+func LoadFixture(root string) ([]*Unit, error) {
+	fset := token.NewFileSet()
+	imp := newDepImporter(fset, root, nil)
+	byDir := make(map[string][]string)
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() && strings.HasSuffix(path, ".go") {
+			d := filepath.Dir(path)
+			byDir[d] = append(byDir[d], fi.Name())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(byDir))
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var units []*Unit
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(byDir[d])
+		u, err := checkUnit(fset, imp, d, filepath.ToSlash(rel), byDir[d], false)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

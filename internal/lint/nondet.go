@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bannedTimeFuncs are the package-level time functions that read or wait on
+// the wall clock. time.Duration values and arithmetic are of course fine —
+// the virtual clock is a time.Duration.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that build a seeded
+// source; everything else at package level draws from the global,
+// process-seeded source.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// bannedOSFuncs are os identity/entropy reads that differ across processes
+// and hosts.
+var bannedOSFuncs = map[string]bool{
+	"Getpid":   true,
+	"Getppid":  true,
+	"Hostname": true,
+}
+
+// Nondeterminism forbids wall-clock reads, unseeded randomness and process
+// identity inside the simulation packages. All time must come from the
+// engine's virtual clock and all randomness from Engine.Rand (or another
+// explicitly seeded source); anything else makes two runs of the same
+// simulation diverge and breaks the golden outputs.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid wall-clock time, global math/rand and process entropy in simulation packages",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	if !inSimScope(pass.Unit.PkgPath) {
+		return
+	}
+	for _, f := range pass.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (time.Time.Sub etc.) never reach the wall clock by themselves
+			}
+			name := fn.Name()
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[name] {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulated code must use the engine's virtual clock", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[name] {
+					pass.Reportf(call.Pos(), "global rand.%s is process-seeded; draw from Engine.Rand (or an explicitly seeded *rand.Rand)", name)
+				}
+			case "crypto/rand":
+				pass.Reportf(call.Pos(), "crypto/rand.%s is hardware entropy; simulated code must use seeded randomness", name)
+			case "os":
+				if bannedOSFuncs[name] {
+					pass.Reportf(call.Pos(), "os.%s is process/host identity; it must not influence simulated behavior", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the function a call expression invokes, or nil when
+// the callee is not a named function (a func-valued variable, a builtin, a
+// type conversion).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Unit.Info.Uses[id].(*types.Func)
+	return fn
+}

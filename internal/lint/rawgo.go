@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RawGo flags concurrency primitives — go statements, channels, select,
+// and the sync/sync.atomic packages — in simulation packages outside
+// internal/sim. The shard runtime (sim.Group) is the only place OS-level
+// concurrency may touch a simulation: it alone guarantees, via the
+// conservative time-window protocol, that parallel execution merges into
+// the exact event order a serial run would produce. A goroutine or channel
+// anywhere else in the models introduces OS-scheduler ordering into
+// simulated behavior.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "flag raw goroutines, channels, select and sync primitives outside the internal/sim shard runtime",
+	Run:  runRawGo,
+}
+
+func runRawGo(pass *Pass) {
+	if !inSimScope(pass.Unit.PkgPath) || simSegment(pass.Unit.PkgPath) == "sim" {
+		return
+	}
+	for _, f := range pass.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement outside the sim shard runtime; run concurrent work as sim processes or behind sim.Group")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send outside the sim shard runtime")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive outside the sim shard runtime")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select outside the sim shard runtime")
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type outside the sim shard runtime; use sim.FIFO or sim.Cond for simulated synchronization")
+			case *ast.RangeStmt:
+				if tv, ok := pass.Unit.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel outside the sim shard runtime")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := pass.Unit.Info.Uses[id].(*types.Builtin); isBuiltin {
+						pass.Reportf(n.Pos(), "close of channel outside the sim shard runtime")
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok {
+					if pn, ok := pass.Unit.Info.Uses[id].(*types.PkgName); ok {
+						switch pn.Imported().Path() {
+						case "sync", "sync/atomic":
+							pass.Reportf(n.Pos(), "%s.%s outside the sim shard runtime; simulated synchronization belongs to the engine", pn.Imported().Path(), n.Sel.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,10 @@
+package experiments
+
+import "fmt"
+
+func dump(m map[int]int) {
+	//unetlint:allow mapiter debug dump for humans; consumers sort the output downstream
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

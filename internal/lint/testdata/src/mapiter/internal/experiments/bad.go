@@ -1,0 +1,33 @@
+package experiments
+
+import "fmt"
+
+type eng struct{}
+
+func (eng) At(int, func()) {}
+
+func emitAll(m map[int]int) {
+	for k, v := range m { // want `this body calls Printf`
+		fmt.Printf("%d %d\n", k, v)
+	}
+}
+
+func collectVals(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want `appends values derived from the iteration`
+		out = append(out, v)
+	}
+	return out
+}
+
+func schedule(e eng, m map[int]func()) {
+	for at, fn := range m { // want `schedules events \(At\)`
+		e.At(at, fn)
+	}
+}
+
+func feed(m map[int]int, ch chan<- int) {
+	for _, v := range m { // want `sends on a channel`
+		ch <- v
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keysOf is the canonical fix: collecting bare keys for sorting is
+// order-neutral by construction.
+func keysOf(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// emitSorted ranges over the sorted slice, not the map.
+func emitSorted(m map[int]int) {
+	for _, k := range keysOf(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+// total folds with a commutative operator and no effectful calls.
+func total(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

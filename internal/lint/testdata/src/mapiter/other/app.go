@@ -1,0 +1,11 @@
+// Package app sits outside the simulation scope; unordered emission is the
+// host tooling's own business.
+package app
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,22 @@
+package fabric
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()             // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(t0)        // want `time\.Since reads the wall clock`
+}
+
+func entropy() (int, error) {
+	buf := make([]byte, 8)
+	if _, err := crand.Read(buf); err != nil { // want `crypto/rand\.Read is hardware entropy`
+		return 0, err
+	}
+	return rand.Intn(10) + os.Getpid(), nil // want `global rand\.Intn is process-seeded` `os\.Getpid is process/host identity`
+}

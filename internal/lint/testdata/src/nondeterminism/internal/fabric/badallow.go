@@ -1,0 +1,18 @@
+package fabric
+
+// Malformed directives are findings themselves: every suppression must name
+// a real analyzer and document its reason. (The `want-prev` comments below
+// anchor to the directive line above them, because a line comment runs to
+// end of line and cannot carry a trailing expectation.)
+
+//unetlint:allow
+// want-prev `needs an analyzer name and a reason`
+
+//unetlint:allow nondeterminism
+// want-prev `allow nondeterminism is missing its reason`
+
+//unetlint:allow bogus because reasons
+// want-prev "names unknown analyzer \"bogus\""
+
+//unetlint:frobnicate whatever
+// want-prev "unknown unetlint directive \"frobnicate\""

@@ -1,0 +1,7 @@
+// Package app sits outside the simulation scope; host tooling may read the
+// wall clock freely.
+package app
+
+import "time"
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,19 @@
+package fabric
+
+// fanout runs fns concurrently on the host and waits for all of them; the
+// results are indexed by caller convention, so completion order never
+// reaches any output.
+//
+//unetlint:allow rawgo host-side worker pool; indexed results make completion order invisible
+func fanout(fns []func()) {
+	done := make(chan int)
+	for i, fn := range fns {
+		go func(i int, fn func()) {
+			fn()
+			done <- i
+		}(i, fn)
+	}
+	for range fns {
+		<-done
+	}
+}

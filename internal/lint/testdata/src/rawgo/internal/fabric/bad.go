@@ -1,0 +1,18 @@
+package fabric
+
+import "sync"
+
+var mu sync.Mutex // want `sync\.Mutex outside the sim shard runtime`
+
+func spawn() {
+	ch := make(chan int)    // want `channel type outside the sim shard runtime`
+	go func() { ch <- 1 }() // want `raw go statement` `channel send`
+	<-ch                    // want `channel receive`
+	close(ch)               // want `close of channel`
+	select {}               // want `select outside the sim shard runtime`
+}
+
+func drain(ch chan int) { // want `channel type outside the sim shard runtime`
+	for range ch { // want `range over channel`
+	}
+}

@@ -270,16 +270,16 @@ func (u *UAM) Outstanding(dst int) int {
 	return pe.outstanding()
 }
 
-// FlushAll is Flush for every peer.
+// FlushAll is Flush for every peer, in node-id order.
 func (u *UAM) FlushAll(p *sim.Proc) {
-	for _, pe := range u.peers {
+	for _, pe := range u.peerList {
 		if pe.outstanding() > 0 {
 			u.sendAckPing(p, pe)
 		}
 	}
 	for {
 		pending := false
-		for _, pe := range u.peers {
+		for _, pe := range u.peerList {
 			if pe.outstanding() > 0 {
 				pending = true
 				u.pollOrTimeout(p, pe)

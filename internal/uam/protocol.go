@@ -171,9 +171,10 @@ func (u *UAM) pollOrTimeout(p *sim.Proc, pe *peer) {
 	u.flushAcks(p)
 }
 
-// checkTimers retransmits every peer whose deadline has passed.
+// checkTimers retransmits every peer whose deadline has passed, in node-id
+// order so the retransmission schedule is reproducible.
 func (u *UAM) checkTimers(p *sim.Proc) {
-	for _, pe := range u.peers {
+	for _, pe := range u.peerList {
 		if pe.deadline != 0 && p.Now() >= pe.deadline {
 			u.retransmit(p, pe)
 		}
@@ -205,7 +206,7 @@ func (u *UAM) retransmit(p *sim.Proc, pe *peer) {
 // the data itself acknowledges — which keeps explicit acks off the NIC's
 // critical path.
 func (u *UAM) flushAcks(p *sim.Proc) {
-	for _, pe := range u.peers {
+	for _, pe := range u.peerList {
 		if !pe.needAck {
 			continue
 		}

@@ -25,6 +25,7 @@ package uam
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"unet/internal/sim"
@@ -128,6 +129,12 @@ type UAM struct {
 	cfg      Config
 	handlers []Handler
 	peers    map[int]*peer
+	// peerList holds the peers in ascending node-id order. Every loop with
+	// a protocol effect (retransmission, acks, flushes) walks this list, not
+	// the map: map iteration order is random per run and would feed the
+	// event schedule — and hence the golden outputs — from a random
+	// permutation (unetlint's mapiter analyzer enforces this).
+	peerList []*peer
 	byChan   map[unet.ChannelID]*peer
 	mem      []byte
 	gets     map[uint32]*getState
@@ -217,11 +224,11 @@ func (u *UAM) Mem() []byte { return u.mem }
 // Stats returns a snapshot of protocol counters.
 func (u *UAM) Stats() Stats { return u.stats }
 
-// Peers returns the connected node ids.
+// Peers returns the connected node ids in ascending order.
 func (u *UAM) Peers() []int {
-	out := make([]int, 0, len(u.peers))
-	for n := range u.peers {
-		out = append(out, n)
+	out := make([]int, 0, len(u.peerList))
+	for _, pe := range u.peerList {
+		out = append(out, pe.node)
 	}
 	return out
 }
@@ -268,6 +275,10 @@ func (u *UAM) addPeer(node int, ch unet.ChannelID) error {
 	}
 	u.slotBase = base
 	u.peers[node] = pe
+	i := sort.Search(len(u.peerList), func(i int) bool { return u.peerList[i].node >= node })
+	u.peerList = append(u.peerList, nil)
+	copy(u.peerList[i+1:], u.peerList[i:])
+	u.peerList[i] = pe
 	u.byChan[ch] = pe
 	return nil
 }

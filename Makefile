@@ -4,14 +4,14 @@
 # mirrors the GitHub Actions workflow.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR4.json
 FUZZTIME ?= 10s
 
 # Pinned external linter versions (kept in sync with .github/workflows/ci.yml).
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all build check test race shardcheck lint lint-extra fuzz bench ci clean
+.PHONY: all build check test race shardcheck alloccheck lint lint-extra fuzz bench ci clean
 
 all: build
 
@@ -32,6 +32,12 @@ race:
 shardcheck:
 	GOMAXPROCS=4 $(GO) test -run 'TestGoldenShardSweep' ./internal/experiments/
 	$(GO) test -run 'TestSharded' ./internal/testbed/
+
+# alloccheck proves the steady-state data path allocates nothing per
+# message (DESIGN.md §10): raw echo (single-cell and buffered) and the UAM
+# round trip, measured with testing.AllocsPerRun.
+alloccheck:
+	$(GO) test -run 'TestSteadyStateAllocs' -v ./internal/experiments/
 
 # lint runs go vet plus unetlint, the repo's own determinism analyzers
 # (nondeterminism, rawgo, mapiter, costcharge — see DESIGN.md §9).
@@ -64,9 +70,10 @@ ci: build
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) shardcheck
+	$(MAKE) alloccheck
 
 bench:
 	sh scripts/bench.sh $(BENCH_OUT)
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt
+	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt

@@ -59,6 +59,7 @@ func main() {
 			if rd.Inline != nil {
 				fmt.Printf("[%8v] bob: %d B inline (single-cell fast path): %q\n",
 					p.Now().Round(time.Microsecond), rd.Length, rd.Inline)
+				epB.Consume(rd) // return the pooled inline slab to the NI
 				continue
 			}
 			data := make([]byte, rd.Length)
@@ -71,6 +72,7 @@ func main() {
 			}
 			fmt.Printf("[%8v] bob: %d B via %d receive buffer(s), first bytes %q...\n",
 				p.Now().Round(time.Microsecond), rd.Length, len(rd.Buffers), data[:12])
+			epB.Consume(rd) // return the pooled offset list too
 		}
 	})
 

@@ -67,6 +67,16 @@ func SegmentAppend(dst []Cell, vci VCI, payload []byte) []Cell {
 	return dst
 }
 
+// BufSource provides and recycles reassembly buffers, letting many
+// reassemblers share one arena of slabs instead of each growing a private
+// buffer to its high-water mark. GetBuf returns a zero-length slab (of
+// whatever capacity the arena has on hand — the reassembler grows it by
+// appending); PutBuf takes a zero-length slab back.
+type BufSource interface {
+	GetBuf() []byte
+	PutBuf(buf []byte)
+}
+
 // Reassembler accumulates the cells of one AAL5 PDU on a single VCI.
 // The zero value is ready to use. The caller (a NIC model) keeps one
 // Reassembler per receive VCI, mirroring the per-VCI reassembly state the
@@ -74,14 +84,30 @@ func SegmentAppend(dst []Cell, vci VCI, payload []byte) []Cell {
 type Reassembler struct {
 	buf   []byte
 	cells int
+	src   BufSource
 }
 
 // Pending reports how many cells of an incomplete PDU are buffered.
 func (r *Reassembler) Pending() int { return r.cells }
 
-// Reset discards any partial PDU.
+// SetSource makes the reassembler draw its buffer from src at the start of
+// each PDU — and, crucially, changes the ownership contract of Add: on a
+// completed PDU the backing slab detaches and transfers to the caller, who
+// returns it to the source (typically after delivering or scattering the
+// payload) with PutBuf(payload[:0]). Call SetSource only while no PDU is
+// pending.
+func (r *Reassembler) SetSource(s BufSource) { r.src = s }
+
+// Reset discards any partial PDU, returning a pooled buffer to its source.
 func (r *Reassembler) Reset() {
-	r.buf = r.buf[:0]
+	if r.src != nil {
+		if r.buf != nil {
+			r.src.PutBuf(r.buf[:0])
+		}
+		r.buf = nil
+	} else {
+		r.buf = r.buf[:0]
+	}
 	r.cells = 0
 }
 
@@ -90,10 +116,16 @@ func (r *Reassembler) Reset() {
 // On validation failure the partial state is discarded and an error
 // describing the corruption is returned.
 //
-// The returned payload aliases the reassembler's internal buffer and is
-// valid only until the next Add or Reset on this reassembler; callers that
-// retain it (rather than scattering it into their own buffers) must copy.
+// Without a buffer source, the returned payload aliases the reassembler's
+// internal buffer and is valid only until the next Add or Reset on this
+// reassembler; callers that retain it (rather than scattering it into
+// their own buffers) must copy. With SetSource, the payload's backing slab
+// is the caller's to keep — and to hand back to the source when consumed —
+// so no copy is ever needed.
 func (r *Reassembler) Add(c Cell) ([]byte, error) {
+	if r.buf == nil && r.src != nil {
+		r.buf = r.src.GetBuf()
+	}
 	r.buf = append(r.buf, c.Payload[:]...)
 	r.cells++
 	if !c.EOP {
@@ -101,13 +133,22 @@ func (r *Reassembler) Add(c Cell) ([]byte, error) {
 	}
 	pdu := r.buf
 	n := int(binary.BigEndian.Uint16(pdu[len(pdu)-4-2:]))
-	defer r.Reset()
 	if CellsFor(n) != r.cells && !(n == 0 && r.cells == 1) {
+		r.Reset()
 		return nil, fmt.Errorf("%w: length=%d cells=%d", ErrBadLength, n, r.cells)
 	}
 	want := binary.BigEndian.Uint32(pdu[len(pdu)-4:])
 	if got := CRC32(pdu[:len(pdu)-4]); got != want {
+		r.Reset()
 		return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadCRC, got, want)
 	}
+	if r.src != nil {
+		// Ownership of the slab moves to the caller; keep the full capacity
+		// reachable (no three-index cap) so PutBuf recovers the whole slab.
+		r.buf = nil
+		r.cells = 0
+		return pdu[:n], nil
+	}
+	r.Reset()
 	return pdu[:n:n], nil
 }

@@ -82,6 +82,7 @@ func (c *UNetConduit) gather(p *sim.Proc, rd unet.RecvDesc) []byte {
 		out := make([]byte, len(rd.Inline))
 		charge(p, c.ep.Host().Params.CopyCost(len(rd.Inline)))
 		copy(out, rd.Inline)
+		c.ep.Consume(rd)
 		return out
 	}
 	out := make([]byte, rd.Length)
@@ -100,6 +101,7 @@ func (c *UNetConduit) gather(p *sim.Proc, rd unet.RecvDesc) []byte {
 			panic(err)
 		}
 	}
+	c.ep.Consume(rd)
 	return out
 }
 

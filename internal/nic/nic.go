@@ -38,16 +38,25 @@ type Stats struct {
 	BadPDUs      uint64 // AAL5 CRC/length failures (lost or corrupt cells)
 	UnknownVCIs  uint64 // cells on unregistered VCIs
 	DirectDenied uint64 // direct-access PDUs to non-direct endpoints
+	// Doorbells counts KickTx rings; DoorbellsCoalesced counts the rings
+	// absorbed by an already-pending doorbell (the processor learns of the
+	// whole burst from one signal, as the SBA-200 firmware's polling loop
+	// picks up every queued descriptor per sweep, §4.2.2).
+	Doorbells          uint64
+	DoorbellsCoalesced uint64
 }
 
-type route struct {
-	ep *unet.Endpoint
-	ch unet.ChannelID
-}
-
-type pduState struct {
-	reasm  atm.Reassembler
+// vciEntry is one row of the dense demultiplex table: the route to the
+// owning endpoint plus the per-VCI AAL5 reassembly state, all in one cache
+// line's reach. Indexing by VCI replaces the two map lookups the receive
+// path used to make per cell, and embedding the reassembler removes the
+// per-VCI lazy allocation.
+type vciEntry struct {
+	ep     *unet.Endpoint
+	ch     unet.ChannelID
+	open   bool
 	direct bool
+	reasm  atm.Reassembler
 }
 
 // arrival is one cell in the input FIFO, tagged with its wire arrival time.
@@ -77,15 +86,42 @@ type Device struct {
 
 	eps   []*unet.Endpoint
 	txRR  int
-	vcis  map[atm.VCI]route
-	pdus  map[atm.VCI]*pduState
 	stats Stats
+
+	// Dense VCI demultiplex table, indexed by VCI. The manager hands out
+	// receive VCIs sequentially from a small base, so the table stays
+	// compact. lastVCI/lastEnt cache the most recent lookup: cells arrive
+	// in VCI-contiguous trains, so the cache hits for every cell of a
+	// multi-cell PDU after the first. Any table mutation (open/close/grow)
+	// must invalidate the cache — entries move when the slice reallocates.
+	table   []vciEntry
+	lastVCI atm.VCI
+	lastEnt *vciEntry
+
+	// txDoorbell latches KickTx rings between processor sweeps: set when an
+	// endpoint enqueues send work, cleared only by a send scan that finds
+	// every queue empty. While clear, the processor skips the O(endpoints)
+	// scan entirely. Virtual time is unaffected — the scan is cost-free and
+	// a clear doorbell means it would have found nothing.
+	txDoorbell bool
+
+	// arena recycles inline payload slabs (single-cell fast path and
+	// reassembly buffers); offPool recycles the Buffers offset lists of
+	// multi-buffer descriptors. Both flow out through RecvDescs and back
+	// via Endpoint.Consume → RecycleInline/RecycleOffsets (DESIGN.md §10).
+	arena   unet.BufPool
+	offPool unet.OffsetsPool
+
+	// dcFree is a free list of delayed-cell boxes for the DeliverTrain
+	// overflow fallback, replacing a per-cell closure allocation.
+	dcFree *delayedCell
 
 	txCells []atm.Cell // segmentation scratch, reused across sends
 	txData  []byte     // DMA/header staging scratch, reused across sends
 }
 
 var _ unet.Device = (*Device)(nil)
+var _ unet.DescRecycler = (*Device)(nil)
 var _ fabric.TrainSink = (*Device)(nil)
 
 // New creates a device sending on uplink. Call Start (or use Attach) to
@@ -100,8 +136,6 @@ func New(e *sim.Engine, host *unet.Host, params Params, uplink *fabric.Link) *De
 		host:   host,
 		params: params,
 		uplink: uplink,
-		vcis:   make(map[atm.VCI]route),
-		pdus:   make(map[atm.VCI]*pduState),
 	}
 	return d
 }
@@ -149,35 +183,72 @@ func (d *Device) DetachEndpoint(ep *unet.Endpoint) {
 			break
 		}
 	}
-	for v, r := range d.vcis {
-		if r.ep == ep {
-			delete(d.vcis, v)
-			delete(d.pdus, v)
+	for i := range d.table {
+		if ent := &d.table[i]; ent.open && ent.ep == ep {
+			d.closeEntry(ent)
 		}
 	}
+	d.lastEnt = nil
 }
 
 // OpenChannel registers the receive tag rx as belonging to (ep, ch).
 func (d *Device) OpenChannel(ep *unet.Endpoint, ch unet.ChannelID, tx, rx atm.VCI) error {
-	if r, busy := d.vcis[rx]; busy && r.ep != ep {
+	if int(rx) >= len(d.table) {
+		grown := make([]vciEntry, int(rx)+1)
+		copy(grown, d.table)
+		d.table = grown
+	}
+	ent := &d.table[rx]
+	if ent.open && ent.ep != ep {
 		return errors.New("nic: VCI already registered to another endpoint")
 	}
-	d.vcis[rx] = route{ep: ep, ch: ch}
+	ent.ep, ent.ch, ent.open = ep, ch, true
+	ent.reasm.SetSource(&d.arena)
+	d.lastEnt = nil // table may have reallocated
 	return nil
+}
+
+// closeEntry clears one table row, returning any partial-PDU slab to the
+// arena.
+func (d *Device) closeEntry(ent *vciEntry) {
+	ent.reasm.Reset()
+	*ent = vciEntry{}
 }
 
 // CloseChannel removes the tag registration.
 func (d *Device) CloseChannel(ep *unet.Endpoint, ch unet.ChannelID) {
-	for v, r := range d.vcis {
-		if r.ep == ep && r.ch == ch {
-			delete(d.vcis, v)
-			delete(d.pdus, v)
+	for i := range d.table {
+		if ent := &d.table[i]; ent.open && ent.ep == ep && ent.ch == ch {
+			d.closeEntry(ent)
 		}
 	}
+	d.lastEnt = nil
 }
 
-// KickTx wakes the processor: ep's send queue became non-empty.
-func (d *Device) KickTx(ep *unet.Endpoint) { d.work.Signal() }
+// route looks up the table entry for v, or nil if the VCI is unregistered.
+func (d *Device) route(v atm.VCI) *vciEntry {
+	if d.lastEnt != nil && v == d.lastVCI {
+		return d.lastEnt
+	}
+	if int(v) >= len(d.table) || !d.table[v].open {
+		return nil
+	}
+	d.lastVCI, d.lastEnt = v, &d.table[v]
+	return d.lastEnt
+}
+
+// KickTx wakes the processor: ep's send queue became non-empty. Rings are
+// coalesced through the txDoorbell latch — if one is already pending, the
+// processor will pick this descriptor up in the same sweep.
+func (d *Device) KickTx(ep *unet.Endpoint) {
+	d.stats.Doorbells++
+	if d.txDoorbell {
+		d.stats.DoorbellsCoalesced++
+		return
+	}
+	d.txDoorbell = true
+	d.work.Signal()
+}
 
 // SingleCellMax reports the inline-descriptor fast-path limit.
 func (d *Device) SingleCellMax() int { return d.params.SingleCellMax }
@@ -240,8 +311,7 @@ func (d *Device) DeliverCell(c atm.Cell) {
 func (d *Device) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
 	if d.inn+len(cells) > d.params.InFIFODepth {
 		for k := 1; k < len(cells); k++ {
-			cell := cells[k]
-			d.e.At(first+time.Duration(k)*spacing, func() { d.DeliverCell(cell) })
+			d.deliverCellAt(cells[k], first+time.Duration(k)*spacing)
 		}
 		d.DeliverCell(cells[0])
 		return
@@ -250,6 +320,41 @@ func (d *Device) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
 		d.push(arrival{c: cells[i], arrive: first + time.Duration(i)*spacing})
 	}
 	d.work.Signal()
+}
+
+// delayedCell boxes one cell scheduled for future delivery, recycled
+// through the device's free list so the DeliverTrain overflow fallback
+// allocates nothing in steady state.
+type delayedCell struct {
+	d    *Device
+	c    atm.Cell
+	next *delayedCell
+}
+
+// fireDelayedCell is the static AtArg callback delivering a boxed cell.
+// The box returns to the free list before delivery so the handler chain
+// can reuse it immediately.
+func fireDelayedCell(a any) {
+	dc := a.(*delayedCell)
+	d, c := dc.d, dc.c
+	dc.d = nil
+	dc.next = d.dcFree
+	d.dcFree = dc
+	d.DeliverCell(c)
+}
+
+// deliverCellAt schedules a single-cell delivery at a future instant using
+// a pooled box and a closure-free engine callback.
+func (d *Device) deliverCellAt(c atm.Cell, at time.Duration) {
+	dc := d.dcFree
+	if dc == nil {
+		dc = &delayedCell{}
+	} else {
+		d.dcFree = dc.next
+		dc.next = nil
+	}
+	dc.d, dc.c = d, c
+	d.e.AtArg(at, fireDelayedCell, dc)
 }
 
 // --- processing loop ---
@@ -280,9 +385,18 @@ func (d *Device) run(p *sim.Proc) {
 			d.syncTo(p, cursor)
 			progress = true
 		}
-		if ep := d.nextTxEndpoint(); ep != nil {
-			d.handleTx(p, ep)
-			progress = true
+		// The send scan runs only while the doorbell is pending: a clear
+		// doorbell guarantees every send queue is empty (the last scan found
+		// them so, and enqueues since would have rung). Clearing only on an
+		// empty scan keeps the service order — and hence the timeline —
+		// identical to the unconditional scan.
+		if d.txDoorbell {
+			if ep := d.nextTxEndpoint(); ep != nil {
+				d.handleTx(p, ep)
+				progress = true
+			} else {
+				d.txDoorbell = false
+			}
 		}
 		if !progress {
 			if d.inn > 0 {
@@ -386,92 +500,96 @@ func (d *Device) sendCells(p *sim.Proc, cells []atm.Cell, cursor time.Duration) 
 // to the cursor only when a completed (or failed) PDU reaches an endpoint.
 func (d *Device) processCell(p *sim.Proc, c atm.Cell, cursor time.Duration) time.Duration {
 	d.stats.CellsIn++
-	r, ok := d.vcis[c.VCI]
-	if !ok {
+	ent := d.route(c.VCI)
+	if ent == nil {
 		d.stats.UnknownVCIs++
 		return cursor
 	}
-	st := d.pdus[c.VCI]
-	if st == nil {
-		st = &pduState{}
-		d.pdus[c.VCI] = st
-	}
-	fastPath := st.reasm.Pending() == 0 && c.EOP && !c.Direct && d.params.SingleCellMax > 0
+	fastPath := ent.reasm.Pending() == 0 && c.EOP && !c.Direct && d.params.SingleCellMax > 0
 	if fastPath {
 		cursor += d.params.RxSingleCell
 	} else {
 		cursor += d.params.RxPerCell
 	}
-	if st.reasm.Pending() == 0 {
-		st.direct = c.Direct
+	if ent.reasm.Pending() == 0 {
+		ent.direct = c.Direct
 	}
-	payload, err := st.reasm.Add(c)
+	payload, err := ent.reasm.Add(c)
 	if err != nil {
 		d.stats.BadPDUs++
 		d.syncTo(p, cursor)
-		r.ep.DevDropReassembly()
+		ent.ep.DevDropReassembly()
 		return cursor
 	}
 	if payload == nil {
 		return cursor // mid-PDU
 	}
+	// The reassembler drew its slab from the arena and has detached it:
+	// from here the slab is this function's to deliver or return.
 	d.stats.PDUsIn++
 	if fastPath && len(payload) <= d.params.SingleCellMax {
 		d.syncTo(p, cursor)
-		// The reassembler's buffer is recycled on the next cell; the inline
-		// descriptor retains its payload, so hand the endpoint a copy.
-		r.ep.DevDeliver(unet.RecvDesc{Channel: r.ch, Length: len(payload), Inline: append([]byte(nil), payload...)})
+		// Deliver the detached slab itself — no copy; the application hands
+		// it back through Endpoint.Consume → RecycleInline.
+		if !ent.ep.DevDeliver(unet.RecvDesc{Channel: ent.ch, Length: len(payload), Inline: payload}) {
+			d.arena.PutBuf(payload) // receive queue full: reclaim the slab
+		}
 		return cursor
 	}
 	cursor += d.params.RxFixed
 	d.syncTo(p, cursor)
-	if st.direct {
-		d.deliverDirect(r, payload)
-		return cursor
+	if ent.direct {
+		d.deliverDirect(ent, payload)
+	} else {
+		d.deliverBuffered(ent, payload)
 	}
-	d.deliverBuffered(r, payload)
+	d.arena.PutBuf(payload) // scatter (or drop) complete; slab back to the arena
 	return cursor
 }
 
 // deliverDirect deposits a §3.6 direct-access PDU at the sender-specified
 // segment offset, if the endpoint allows it.
-func (d *Device) deliverDirect(r route, payload []byte) {
-	if len(payload) < directHeaderSize || !r.ep.Config().DirectAccess {
+func (d *Device) deliverDirect(ent *vciEntry, payload []byte) {
+	if len(payload) < directHeaderSize || !ent.ep.Config().DirectAccess {
 		d.stats.DirectDenied++
-		r.ep.DevDropNoBuffer()
+		ent.ep.DevDropNoBuffer()
 		return
 	}
 	off := int(binary.BigEndian.Uint64(payload))
 	data := payload[directHeaderSize:]
-	if off < 0 || off+len(data) > len(r.ep.Segment()) {
+	if off < 0 || off+len(data) > len(ent.ep.Segment()) {
 		d.stats.DirectDenied++
-		r.ep.DevDropNoBuffer()
+		ent.ep.DevDropNoBuffer()
 		return
 	}
-	r.ep.DevWriteSegment(off, data)
-	r.ep.DevDeliver(unet.RecvDesc{
-		Channel: r.ch, Length: len(data), Direct: true, DirectOffset: off,
+	ent.ep.DevWriteSegment(off, data)
+	ent.ep.DevDeliver(unet.RecvDesc{
+		Channel: ent.ch, Length: len(data), Direct: true, DirectOffset: off,
 	})
 }
 
 // deliverBuffered scatters a PDU into free-queue buffers and pushes the
 // descriptor. Arrivals with no free buffers are dropped (§3.4: the process
 // provides receive buffers explicitly; run out and you lose messages).
-func (d *Device) deliverBuffered(r route, payload []byte) {
-	bufSize := r.ep.Config().RecvBufSize
+// The offset list rides in the descriptor and returns through
+// Endpoint.Consume → RecycleOffsets; on any drop path it goes straight
+// back to the pool here.
+func (d *Device) deliverBuffered(ent *vciEntry, payload []byte) {
+	bufSize := ent.ep.Config().RecvBufSize
 	need := (len(payload) + bufSize - 1) / bufSize
 	if need == 0 {
 		need = 1
 	}
-	offs := make([]int, 0, need)
+	offs := d.offPool.GetOffsets()
 	for i := 0; i < need; i++ {
-		off, ok := r.ep.DevPopFree()
+		off, ok := ent.ep.DevPopFree()
 		if !ok {
 			// Out of buffers: return what we took and drop the message.
 			for _, o := range offs {
-				r.ep.PushFree(nil, o)
+				ent.ep.PushFree(nil, o)
 			}
-			r.ep.DevDropNoBuffer()
+			d.offPool.PutOffsets(offs)
+			ent.ep.DevDropNoBuffer()
 			return
 		}
 		offs = append(offs, off)
@@ -482,15 +600,35 @@ func (d *Device) deliverBuffered(r route, payload []byte) {
 		if hi > len(payload) {
 			hi = len(payload)
 		}
-		r.ep.DevWriteSegment(off, payload[lo:hi])
+		ent.ep.DevWriteSegment(off, payload[lo:hi])
 	}
-	if !r.ep.DevDeliver(unet.RecvDesc{Channel: r.ch, Length: len(payload), Buffers: offs}) {
-		// Receive queue overflow: recycle the buffers.
+	if !ent.ep.DevDeliver(unet.RecvDesc{Channel: ent.ch, Length: len(payload), Buffers: offs}) {
+		// Receive queue overflow: recycle the buffers and the list.
 		for _, o := range offs {
-			r.ep.PushFree(nil, o)
+			ent.ep.PushFree(nil, o)
 		}
+		d.offPool.PutOffsets(offs)
 	}
 }
+
+// --- unet.DescRecycler (DESIGN.md §10) ---
+
+// RecycleInline returns a consumed descriptor's inline slab to the arena.
+//
+//unetlint:allow costcharge recycling is free: buffer bookkeeping the real NI does not charge the data path for
+func (d *Device) RecycleInline(buf []byte) { d.arena.PutBuf(buf) }
+
+// RecycleOffsets returns a consumed descriptor's offset list to its pool.
+//
+//unetlint:allow costcharge recycling is free: buffer bookkeeping the real NI does not charge the data path for
+func (d *Device) RecycleOffsets(offs []int) { d.offPool.PutOffsets(offs) }
+
+// ArenaStats exposes the payload-slab pool counters (tests use Live to
+// prove delivered descriptors all come home).
+func (d *Device) ArenaStats() unet.PoolStats { return d.arena.Stats() }
+
+// OffsetsStats exposes the offset-list pool counters.
+func (d *Device) OffsetsStats() unet.PoolStats { return d.offPool.Stats() }
 
 // OneWayWireTime estimates the fiber+switch flight time of the last cell
 // of an n-byte PDU, used by calibration tests.

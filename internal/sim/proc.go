@@ -120,17 +120,21 @@ func (c *Cond) Signal() {
 	}
 }
 
-// Broadcast wakes every waiting process.
+// Broadcast wakes every waiting process. The waiter slice is emptied in
+// place, keeping its capacity: resumeLater only schedules (no process runs
+// during the loop), so no new waiter can be appended mid-broadcast, and
+// steady-state wait/broadcast traffic allocates nothing.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	for i, w := range ws {
+		ws[i] = nil
 		if w.fired {
 			continue
 		}
 		w.fired = true
 		w.p.e.resumeLater(w.p)
 	}
+	c.waiters = ws[:0]
 }
 
 // remove deletes one waiter (used when its timeout fires).

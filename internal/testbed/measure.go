@@ -8,13 +8,15 @@ import (
 )
 
 // Recycle returns a received message's buffers to the endpoint's free
-// queue, charging the pushes to p.
+// queue, charging the pushes to p, and hands the descriptor's pooled
+// memory back to the device (DESIGN.md §10).
 func Recycle(p *sim.Proc, ep *unet.Endpoint, rd unet.RecvDesc) {
 	for _, off := range rd.Buffers {
 		if err := ep.PushFree(p, off); err != nil {
 			panic(err)
 		}
 	}
+	ep.Consume(rd)
 }
 
 // sendDesc builds the appropriate descriptor for a size-byte message:

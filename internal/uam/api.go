@@ -78,23 +78,25 @@ func (u *UAM) Store(p *sim.Proc, dst int, dstOff int, data []byte, handler int, 
 // only attached to final segments, and arg is delivered with them.
 func (u *UAM) sendStoreSeg(p *sim.Proc, pe *peer, handler uint8, dstOff, arg uint32, seg []byte, last bool) error {
 	// The destination offset rides in the header argument; the completion
-	// argument is appended to the final segment's payload.
+	// argument is appended to the final segment's payload. The assembly
+	// buffer is pooled scratch: sendReliable stages it into a window slot
+	// before returning, so it can go back on the free list here.
 	if last && handler != 0 {
-		buf := make([]byte, len(seg)+4)
-		copy(buf, seg)
-		buf[len(seg)] = byte(arg >> 24)
-		buf[len(seg)+1] = byte(arg >> 16)
-		buf[len(seg)+2] = byte(arg >> 8)
-		buf[len(seg)+3] = byte(arg)
+		buf := u.popScratch()
+		buf = append(buf, seg...)
+		buf = append(buf, byte(arg>>24), byte(arg>>16), byte(arg>>8), byte(arg))
+		var err error
 		if len(buf) > u.cfg.BulkMax {
 			// No room to piggyback: send the data, then a zero-length
 			// handler-carrying segment.
-			if err := u.sendReliable(p, pe, typeStore, 0, dstOff, seg); err != nil {
-				return err
+			if err = u.sendReliable(p, pe, typeStore, 0, dstOff, seg); err == nil {
+				err = u.sendReliable(p, pe, typeStore, handler, dstOff+uint32(len(seg)), buf[len(seg):])
 			}
-			return u.sendReliable(p, pe, typeStore, handler, dstOff+uint32(len(seg)), buf[len(seg):])
+		} else {
+			err = u.sendReliable(p, pe, typeStore, handler, dstOff, buf)
 		}
-		return u.sendReliable(p, pe, typeStore, handler, dstOff, buf)
+		u.putScratch(buf)
+		return err
 	}
 	return u.sendReliable(p, pe, typeStore, 0, dstOff, seg)
 }
@@ -141,7 +143,7 @@ func (u *UAM) Get(p *sim.Proc, src int, srcOff, dstOff, n int) (uint32, error) {
 	}
 	u.nextTag++
 	tag := u.nextTag
-	u.gets[tag] = &getState{remaining: n}
+	u.gets[tag] = n
 	var req [12]byte
 	getReq{srcOff: uint32(srcOff), dstOff: uint32(dstOff), n: uint32(n)}.encode(req[:])
 	if err := u.sendReliable(p, pe, typeGetReq, 0, tag, req[:]); err != nil {
@@ -163,28 +165,28 @@ func (u *UAM) handleGetReq(p *sim.Proc, pe *peer, h header, data []byte) {
 		return
 	}
 	sent := 0
+	seg := u.popScratch()
 	for {
 		chunk := n - sent
 		if chunk > u.cfg.BulkMax-4 {
 			chunk = u.cfg.BulkMax - 4
 		}
 		// Get-data segments carry the destination offset in the header arg
-		// and the tag in the trailing 4 bytes.
-		seg := make([]byte, chunk+4)
+		// and the tag in the trailing 4 bytes. The staging buffer is pooled
+		// scratch, reused across segments (sendReliable stages each into a
+		// window slot before returning).
 		charge(p, u.ep.Host().Params.CopyCost(chunk))
-		copy(seg, u.mem[src+sent:src+sent+chunk])
-		seg[chunk] = byte(h.arg >> 24)
-		seg[chunk+1] = byte(h.arg >> 16)
-		seg[chunk+2] = byte(h.arg >> 8)
-		seg[chunk+3] = byte(h.arg)
+		seg = append(seg[:0], u.mem[src+sent:src+sent+chunk]...)
+		seg = append(seg, byte(h.arg>>24), byte(h.arg>>16), byte(h.arg>>8), byte(h.arg))
 		if err := u.sendReliable(p, pe, typeGetData, 0, uint32(dst+sent), seg); err != nil {
-			return
+			break
 		}
 		sent += chunk
 		if sent >= n {
-			return
+			break
 		}
 	}
+	u.putScratch(seg)
 }
 
 // handleGetData lands one get-data segment in local memory and retires the
@@ -202,10 +204,11 @@ func (u *UAM) handleGetData(p *sim.Proc, pe *peer, h header, data []byte) {
 	}
 	charge(p, u.ep.Host().Params.CopyCost(len(payload)))
 	copy(u.mem[off:], payload)
-	if g, ok := u.gets[tag]; ok {
-		g.remaining -= len(payload)
-		if g.remaining <= 0 {
+	if rem, ok := u.gets[tag]; ok {
+		if rem -= len(payload); rem <= 0 {
 			delete(u.gets, tag)
+		} else {
+			u.gets[tag] = rem
 		}
 	}
 }

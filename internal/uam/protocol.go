@@ -92,7 +92,12 @@ func (u *UAM) sendControl(p *sim.Proc, pe *peer, typ uint8) {
 	pe.forceAck = false
 	// Control messages are single-cell and unsequenced: losing one only
 	// delays the sender until the next solicitation or a retransmission.
-	buf := make([]byte, headerSize)
+	// Stage the header in the next control-ring slot of the segment (a
+	// direct store, like any write to mapped memory — no Compose cost) so
+	// the inline descriptor's bytes stay stable until the NIC pops it.
+	off := u.ctrlBase + u.ctrlNext*headerSize
+	u.ctrlNext = (u.ctrlNext + 1) % (u.ep.Config().SendQueueCap + 1)
+	buf := u.ep.Segment()[off : off+headerSize]
 	copy(buf, hdr[:])
 	_ = u.ep.SendBlock(p, unet.SendDesc{Channel: pe.ch, Inline: buf})
 }
@@ -217,15 +222,21 @@ func (u *UAM) flushAcks(p *sim.Proc) {
 }
 
 // gather copies a received message out of U-Net buffers into contiguous
-// memory (one of the two UAM copies, §5.3) and recycles the buffers.
+// memory (one of the two UAM copies, §5.3) and recycles the buffers. The
+// output lives in a pooled scratch buffer — the caller returns it with
+// putScratch — and the descriptor's pooled memory goes home via Consume.
 func (u *UAM) gather(p *sim.Proc, rd unet.RecvDesc) []byte {
+	out := u.popScratch()
 	if rd.Inline != nil {
 		charge(p, u.ep.Host().Params.CopyCost(len(rd.Inline)))
-		out := make([]byte, len(rd.Inline))
-		copy(out, rd.Inline)
+		out = append(out, rd.Inline...)
+		u.ep.Consume(rd)
 		return out
 	}
-	out := make([]byte, rd.Length)
+	for cap(out) < rd.Length {
+		out = append(out[:cap(out)], 0)
+	}
+	out = out[:rd.Length]
 	n := 0
 	bufSize := u.ep.Config().RecvBufSize
 	for _, off := range rd.Buffers {
@@ -241,6 +252,7 @@ func (u *UAM) gather(p *sim.Proc, rd unet.RecvDesc) []byte {
 			panic(err)
 		}
 	}
+	u.ep.Consume(rd)
 	return out
 }
 
@@ -252,6 +264,14 @@ func (u *UAM) process(p *sim.Proc, rd unet.RecvDesc) {
 		return
 	}
 	msg := u.gather(p, rd)
+	u.processMsg(p, pe, msg)
+	u.putScratch(msg)
+}
+
+// processMsg is process after gathering; msg is a pooled scratch buffer
+// owned by the caller (handlers see sub-slices of it, valid only during
+// the dispatch, as the Handler contract states).
+func (u *UAM) processMsg(p *sim.Proc, pe *peer, msg []byte) {
 	h, err := decodeHeader(msg)
 	if err != nil {
 		return

@@ -118,10 +118,6 @@ type peer struct {
 	forceAck    bool // duplicate seen or ack explicitly solicited by ping
 }
 
-type getState struct {
-	remaining int
-}
-
 // UAM is one node's Active Messages instance, bound to one U-Net endpoint.
 type UAM struct {
 	node     int
@@ -137,13 +133,29 @@ type UAM struct {
 	peerList []*peer
 	byChan   map[unet.ChannelID]*peer
 	mem      []byte
-	gets     map[uint32]*getState
+	gets     map[uint32]int // transfer tag → bytes remaining
 	nextTag  uint32
 	replyTo  *peer // non-nil while dispatching a request handler
 	inReply  bool  // true while dispatching a reply handler
 	draining bool  // re-entrance guard for pre-send queue draining
 	stats    Stats
 	slotBase int // next free segment offset for peer slot allocation
+
+	// scratch is a free-list stack of message staging buffers (gather
+	// output, store/get segment assembly). A stack — not a single buffer —
+	// because handlers re-enter the library: a dispatch can send, which
+	// drains the receive queue, which gathers and dispatches again before
+	// the outer buffer is released.
+	scratch [][]byte
+
+	// Control messages (acks, ack pings) are unsequenced, so they have no
+	// window slot to stage in; their inline bytes must nonetheless stay
+	// stable until the NIC pops the descriptor. They rotate through a
+	// dedicated segment ring of SendQueueCap+1 slots: at most SendQueueCap
+	// descriptors can be queued, so a slot is never rewritten while a
+	// descriptor still points at it.
+	ctrlBase int
+	ctrlNext int
 }
 
 // New creates a UAM instance for owner with the given node id, creating
@@ -176,8 +188,9 @@ func New(owner *unet.Process, node int, cfg Config) (*UAM, error) {
 	}
 	slot := headerSize + cfg.BulkMax
 	perPeer := cfg.Window*slot + 2*cfg.Window*(headerSize+cfg.BulkMax)
+	ctrlRing := (cfg.Window*cfg.MaxPeers + 1) * headerSize // control staging slots
 	epCfg := unet.EndpointConfig{
-		SegmentSize:  cfg.MaxPeers * perPeer,
+		SegmentSize:  cfg.MaxPeers*perPeer + ctrlRing,
 		RecvBufSize:  headerSize + cfg.BulkMax,
 		SendQueueCap: cfg.Window * cfg.MaxPeers,
 		RecvQueueCap: 4 * cfg.Window * cfg.MaxPeers,
@@ -207,9 +220,26 @@ func New(owner *unet.Process, node int, cfg Config) (*UAM, error) {
 		peers:    make(map[int]*peer),
 		byChan:   make(map[unet.ChannelID]*peer),
 		mem:      make([]byte, cfg.MemSize),
-		gets:     make(map[uint32]*getState),
+		gets:     make(map[uint32]int),
+		ctrlBase: cfg.MaxPeers * perPeer,
 	}, nil
 }
+
+// popScratch takes a staging buffer (len 0) off the free list, or returns
+// nil for append-growth. Buffers converge on the workload's high-water
+// message size and then recirculate without allocation.
+func (u *UAM) popScratch() []byte {
+	if n := len(u.scratch); n > 0 {
+		b := u.scratch[n-1]
+		u.scratch[n-1] = nil
+		u.scratch = u.scratch[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putScratch returns a staging buffer to the free list.
+func (u *UAM) putScratch(b []byte) { u.scratch = append(u.scratch, b[:0]) }
 
 // Node returns this instance's node id.
 func (u *UAM) Node() int { return u.node }

@@ -29,17 +29,26 @@ type SendDesc struct {
 }
 
 // RecvDesc describes one arrived message (§3.4).
+//
+// Buffer ownership (DESIGN.md §10): the Inline slab and the Buffers list
+// are NI-owned pooled memory on loan to the application. The application
+// returns them — after its last use of the descriptor — with
+// Endpoint.Consume; until then they are exclusively the application's
+// (the NI never rewrites a delivered descriptor's memory).
 type RecvDesc struct {
 	// Channel identifies the channel the message arrived on (its origin).
 	Channel ChannelID
 	// Length is the total message length.
 	Length int
 	// Inline holds the whole message for single-cell arrivals, which the
-	// NI stores directly in the receive-queue entry (§4.2.2).
+	// NI stores directly in the receive-queue entry (§4.2.2). The slab is
+	// pool-backed; return it with Endpoint.Consume.
 	Inline []byte
 	// Buffers lists the segment offsets of the fixed-size receive buffers
 	// holding the data, in order. Multi-buffer messages occur when a PDU
-	// exceeds the endpoint's receive buffer size.
+	// exceeds the endpoint's receive buffer size. The buffers themselves
+	// are recycled through PushFree; the list is pool-backed and returned
+	// with Endpoint.Consume.
 	Buffers []int
 	// Direct reports a direct-access deposit (§3.6): the data was written
 	// straight into the segment at DirectOffset and no receive buffers

@@ -26,10 +26,15 @@ const emuMTU = 8192
 // EmuChannelID names a channel registered on an emulated endpoint.
 type EmuChannelID int
 
-// EmuRecv is one message delivered to an emulated endpoint.
+// EmuRecv is one message delivered to an emulated endpoint. Data lives in a
+// kernel staging buffer on loan to the application: it is valid until the
+// owner's next Recv or successful PollRecv on the same endpoint, which
+// reclaims it (the §3.5 emulation's analogue of a socket buffer). Retain by
+// copying.
 type EmuRecv struct {
 	Channel EmuChannelID
 	Data    []byte
+	slab    []byte // the staging buffer backing Data, recycled on the next Recv
 }
 
 type emuChan struct {
@@ -40,12 +45,13 @@ type emuChan struct {
 
 // EmuEndpoint is a kernel-emulated U-Net endpoint (§3.5).
 type EmuEndpoint struct {
-	k     *Kernel
-	owner *Process
-	id    uint16
-	chans []emuChan
-	rx    *sim.FIFO[EmuRecv]
-	drops uint64
+	k       *Kernel
+	owner   *Process
+	id      uint16
+	chans   []emuChan
+	rx      *sim.FIFO[EmuRecv]
+	drops   uint64
+	pending []byte // last delivered slab, reclaimed on the next Recv/PollRecv
 }
 
 type emuState struct {
@@ -57,6 +63,10 @@ type emuState struct {
 	txBase int // staging region base in the kernel segment
 	txSize int
 	txNext int
+	// pool recycles receive staging slabs (out through EmuRecv, back on the
+	// consumer's next Recv) and transmit packet-assembly buffers, keeping
+	// the emulation path allocation-free in steady state like the real one.
+	pool BufPool
 }
 
 // EnableEmulation sets up the kernel's real endpoint and service process.
@@ -106,32 +116,43 @@ func (k *Kernel) emuService(p *sim.Proc) {
 		rd := st.kep.Recv(p)
 		data := k.emuGather(p, rd)
 		if len(data) < emuHeaderSize {
+			st.pool.PutBuf(data)
 			continue
 		}
 		dst := binary.BigEndian.Uint16(data[0:2])
 		src := binary.BigEndian.Uint16(data[2:4])
 		ee, ok := st.emus[dst]
 		if !ok {
+			st.pool.PutBuf(data)
 			continue
 		}
 		ch, ok := ee.chanFrom(rd.Channel, src)
 		if !ok {
+			st.pool.PutBuf(data)
 			continue
 		}
-		if !ee.rx.TryPut(EmuRecv{Channel: ch, Data: data[emuHeaderSize:]}) {
+		if !ee.rx.TryPut(EmuRecv{Channel: ch, Data: data[emuHeaderSize:], slab: data}) {
 			ee.drops++
+			st.pool.PutBuf(data)
 		}
 	}
 }
 
 // emuGather copies a received message out of the kernel endpoint's buffers
-// (the extra kernel copy emulation costs) and recycles the buffers.
+// (the extra kernel copy emulation costs) into a pooled staging slab and
+// recycles the buffers and the descriptor's pooled memory.
 func (k *Kernel) emuGather(p *sim.Proc, rd RecvDesc) []byte {
 	st := k.emu
+	out := st.pool.GetBuf()
 	if rd.Inline != nil {
-		return append([]byte(nil), rd.Inline...)
+		out = append(out, rd.Inline...)
+		st.kep.Consume(rd)
+		return out
 	}
-	out := make([]byte, rd.Length)
+	for cap(out) < rd.Length {
+		out = append(out[:cap(out)], 0)
+	}
+	out = out[:rd.Length]
 	n := 0
 	for _, off := range rd.Buffers {
 		chunk := rd.Length - n
@@ -146,6 +167,7 @@ func (k *Kernel) emuGather(p *sim.Proc, rd RecvDesc) []byte {
 			panic(err)
 		}
 	}
+	st.kep.Consume(rd)
 	return out
 }
 
@@ -212,15 +234,22 @@ func (ee *EmuEndpoint) Send(p *sim.Proc, ch EmuChannelID, data []byte) error {
 	}
 	charge(p, k.host.Params.Syscall)
 	c := ee.chans[ch]
-	pkt := make([]byte, emuHeaderSize+len(data))
-	binary.BigEndian.PutUint16(pkt[0:2], c.remoteID)
-	binary.BigEndian.PutUint16(pkt[2:4], ee.id)
-	copy(pkt[emuHeaderSize:], data)
+	// Assemble in a pooled buffer, not a shared scratch: Compose can park
+	// this process on its copy charge, letting another process enter Send
+	// meanwhile. The buffer is done once Compose has copied it into the
+	// staging region, so it goes back to the pool before SendBlock blocks.
+	pkt := st.pool.GetBuf()
+	pkt = binary.BigEndian.AppendUint16(pkt, c.remoteID)
+	pkt = binary.BigEndian.AppendUint16(pkt, ee.id)
+	pkt = append(pkt, data...)
 	off := st.allocTx(len(pkt))
-	if err := st.kep.Compose(p, off, pkt); err != nil {
+	err := st.kep.Compose(p, off, pkt)
+	n := len(pkt)
+	st.pool.PutBuf(pkt)
+	if err != nil {
 		return err
 	}
-	return st.kep.SendBlock(p, SendDesc{Channel: c.kch, Offset: off, Length: len(pkt)})
+	return st.kep.SendBlock(p, SendDesc{Channel: c.kch, Offset: off, Length: n})
 }
 
 // allocTx bump-allocates a staging buffer in the kernel segment. The
@@ -235,11 +264,23 @@ func (st *emuState) allocTx(n int) int {
 	return off
 }
 
+// reclaim returns the previously delivered staging slab to the kernel pool;
+// the application's window on that Data has closed.
+func (ee *EmuEndpoint) reclaim() {
+	if ee.pending != nil {
+		ee.k.emu.pool.PutBuf(ee.pending)
+		ee.pending = nil
+	}
+}
+
 // Recv blocks for the next message; the data has already been copied into
 // kernel memory, and the final copy to the application plus the trap are
-// charged here.
+// charged here. The returned Data remains valid until the next Recv or
+// successful PollRecv on this endpoint.
 func (ee *EmuEndpoint) Recv(p *sim.Proc) EmuRecv {
 	r := ee.rx.Get(p)
+	ee.reclaim()
+	ee.pending = r.slab
 	charge(p, ee.k.host.Params.Syscall)
 	charge(p, ee.k.host.Params.CopyCost(len(r.Data)))
 	return r
@@ -250,6 +291,8 @@ func (ee *EmuEndpoint) PollRecv(p *sim.Proc) (EmuRecv, bool) {
 	charge(p, ee.k.host.Params.Syscall)
 	r, ok := ee.rx.TryGet()
 	if ok {
+		ee.reclaim()
+		ee.pending = r.slab
 		charge(p, ee.k.host.Params.CopyCost(len(r.Data)))
 	}
 	return r, ok

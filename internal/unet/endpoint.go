@@ -270,6 +270,28 @@ func (ep *Endpoint) RecvTimeout(p *sim.Proc, d time.Duration) (RecvDesc, bool) {
 	}
 }
 
+// Consume returns a received descriptor's NI-owned memory — the Inline
+// payload slab of a single-cell arrival, the Buffers offset list of a
+// multi-buffer one — to the device's pools (DESIGN.md §10). Call it once,
+// after the last use of rd; the descriptor's Inline and Buffers must not be
+// touched afterwards. Consume is free of virtual cost (the memory is a
+// simulator artifact, not a modeled resource) and is optional for
+// correctness: skipping it only costs allocations. Note that Consume does
+// not push buffer offsets back onto the free queue — that is PushFree's
+// job, with its modeled cost.
+func (ep *Endpoint) Consume(rd RecvDesc) {
+	rec, ok := ep.host.dev.(DescRecycler)
+	if !ok {
+		return
+	}
+	if rd.Inline != nil {
+		rec.RecycleInline(rd.Inline)
+	}
+	if rd.Buffers != nil {
+		rec.RecycleOffsets(rd.Buffers)
+	}
+}
+
 // PushFree returns a receive buffer at segment offset off to the NI
 // through the free queue (§3.1). Buffers must lie in the segment and are
 // RecvBufSize bytes long.

@@ -1,0 +1,103 @@
+package unet
+
+// Free-list pools backing the steady-state zero-allocation data path
+// (DESIGN.md §10). The paper's core claim (§2.1) is that per-message
+// processing overhead, not wire time, dominates small-message cost; in this
+// simulator the analogous overhead is the Go allocator on the per-message
+// path. These pools recycle the two kinds of NI-owned descriptor memory —
+// inline payload slabs and buffer-offset lists — so that once a workload
+// reaches its high-water mark, moving a message end to end allocates
+// nothing.
+//
+// Ownership protocol: the NIC takes memory out of a pool when it assembles
+// a RecvDesc, the descriptor carries it through the receive queue, and the
+// application returns it with Endpoint.Consume when it has finished with
+// the descriptor. Consume is optional for correctness — an unreturned slab
+// is simply garbage-collected and the pool allocates a replacement — but
+// required for the zero-allocation steady state; PoolStats.Live makes
+// forgotten returns visible to tests.
+
+// PoolStats counts pool traffic. Gets - Puts is the number of items
+// currently checked out; Allocs is how many had to be freshly allocated
+// (zero in steady state).
+type PoolStats struct {
+	Gets   uint64
+	Puts   uint64
+	Allocs uint64
+}
+
+// Live reports how many items are checked out of the pool right now.
+func (s PoolStats) Live() int { return int(s.Gets - s.Puts) }
+
+// BufPool is a free-list arena of byte slabs. The zero value is ready to
+// use. Slabs are handed out at zero length and whatever capacity they last
+// grew to; consumers extend them with append, so the arena converges on the
+// workload's high-water slab size and then stops allocating. GetBuf/PutBuf
+// satisfy atm.BufSource, making the pool pluggable as a reassembly arena.
+type BufPool struct {
+	free  [][]byte
+	stats PoolStats
+}
+
+// GetBuf pops a slab (len 0), allocating only when the free list is empty.
+func (p *BufPool) GetBuf() []byte {
+	p.stats.Gets++
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	p.stats.Allocs++
+	return nil // grown by the consumer's append
+}
+
+// PutBuf returns a slab to the pool. The caller must not use b afterwards.
+func (p *BufPool) PutBuf(b []byte) {
+	p.stats.Puts++
+	p.free = append(p.free, b[:0])
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *BufPool) Stats() PoolStats { return p.stats }
+
+// OffsetsPool is a free-list arena of buffer-offset lists (the Buffers
+// field of multi-buffer RecvDescs). The zero value is ready to use.
+type OffsetsPool struct {
+	free  [][]int
+	stats PoolStats
+}
+
+// GetOffsets pops an offset list (len 0).
+func (p *OffsetsPool) GetOffsets() []int {
+	p.stats.Gets++
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return s
+	}
+	p.stats.Allocs++
+	return nil
+}
+
+// PutOffsets returns an offset list to the pool.
+func (p *OffsetsPool) PutOffsets(s []int) {
+	p.stats.Puts++
+	p.free = append(p.free, s[:0])
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *OffsetsPool) Stats() PoolStats { return p.stats }
+
+// DescRecycler is implemented by devices whose RecvDesc memory is
+// pool-backed. Endpoint.Consume routes descriptor memory back through it;
+// devices without pools simply don't implement it and Consume is a no-op.
+type DescRecycler interface {
+	// RecycleInline takes back the Inline slab of a consumed descriptor.
+	RecycleInline(buf []byte)
+	// RecycleOffsets takes back the Buffers list of a consumed descriptor
+	// (the offsets themselves must already have been returned through the
+	// free queue with PushFree).
+	RecycleOffsets(offs []int)
+}

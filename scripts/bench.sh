@@ -5,15 +5,18 @@
 # 2. Race check on the simulation kernel (incl. shard protocol), the
 #    fabric, the NIC models and the parallel sweep pool, plus the sharded
 #    golden check (byte-identical output at every shard count).
-# 3. Microbenchmarks (engine, fabric), the end-to-end Figure 4 sweep, and
-#    the serial-vs-sharded 8-host cluster storm, saved as
+# 3. Steady-state allocation gate: the data path must move messages with
+#    zero allocations per round trip (DESIGN.md §10).
+# 4. Microbenchmarks (engine, fabric), the zero-alloc echo/UAM round
+#    trips, the end-to-end Figure 4 sweep, and the serial-vs-sharded
+#    8-host cluster storm, all with -benchmem, saved as
 #    benchstat-compatible text and summarized into the output JSON.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR2.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR4.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR4.json}"
 txt="${out%.json}.txt"
 
 echo "== tier-1: go build ./... && go test ./..." >&2
@@ -30,11 +33,17 @@ echo "== sharded golden check (byte-identical at every shard count)" >&2
 GOMAXPROCS=4 go test -run 'TestGoldenShardSweep' ./internal/experiments/
 go test -run 'TestSharded' ./internal/testbed/
 
+echo "== steady-state allocation gate (0 allocs/round on the data path)" >&2
+go test -run 'TestSteadyStateAllocs' ./internal/experiments/
+
 echo "== benchmarks (benchstat-compatible: $txt)" >&2
 go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkLink_|BenchmarkSwitch_' \
 	-benchmem -benchtime 200000x -count 3 \
 	./internal/sim/ ./internal/fabric/ | tee "$txt"
-go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchtime 3x -count 3 . | tee -a "$txt"
+go test -run '^$' -bench 'BenchmarkEcho|BenchmarkUAMRoundTrip' \
+	-benchmem -benchtime 2000x -count 3 \
+	./internal/experiments/ | tee -a "$txt"
+go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkCluster_Sharded' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 
 echo "== summarizing into $out" >&2

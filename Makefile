@@ -4,14 +4,14 @@
 # mirrors the GitHub Actions workflow.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 FUZZTIME ?= 10s
 
 # Pinned external linter versions (kept in sync with .github/workflows/ci.yml).
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all build check test race shardcheck alloccheck lint lint-extra fuzz bench ci clean
+.PHONY: all build check test race shardcheck alloccheck chaos lint lint-extra fuzz bench ci clean
 
 all: build
 
@@ -38,6 +38,15 @@ shardcheck:
 # round trip, measured with testing.AllocsPerRun.
 alloccheck:
 	$(GO) test -run 'TestSteadyStateAllocs' -v ./internal/experiments/
+
+# chaos runs the deterministic fault-injection gates (DESIGN.md §11): the
+# seeded loss sweep and chaos soak must render byte-identically at every
+# shard count, the reliable layers must deliver 100% under ≤1% cell loss
+# with bounded retransmissions, and the seeded-loss protocol goldens must
+# recover identically at shards 1/2/4.
+chaos:
+	GOMAXPROCS=4 $(GO) test -run 'TestGoldenFaultDeterminism|TestLossRecoveryDelivery' -v ./internal/experiments/
+	$(GO) test -run 'TestSeededLossNthCellGolden|TestDeadPeerFailsInBoundedTime' ./internal/uam/ ./internal/ip/tcp/
 
 # lint runs go vet plus unetlint, the repo's own determinism analyzers
 # (nondeterminism, rawgo, mapiter, costcharge — see DESIGN.md §9).
@@ -71,9 +80,10 @@ ci: build
 	$(MAKE) race
 	$(MAKE) shardcheck
 	$(MAKE) alloccheck
+	$(MAKE) chaos
 
 bench:
 	sh scripts/bench.sh $(BENCH_OUT)
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt
+	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt

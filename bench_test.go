@@ -174,6 +174,25 @@ func BenchmarkFig9_IPLatency(b *testing.B) {
 	b.ReportMetric(kt, "µs/kern-tcp")
 }
 
+// BenchmarkFigLoss_Recovery runs the goodput-under-loss points the fault
+// subsystem pins (DESIGN.md §11): reliable delivery at 1% cell loss for
+// UAM and TCP, and the raw AAL5 survival rate, all from the seeded
+// impairment streams.
+func BenchmarkFigLoss_Recovery(b *testing.B) {
+	var uamBW, tcpBW, rawDel float64
+	var uamRetx, tcpRetx uint64
+	for i := 0; i < b.N; i++ {
+		_, uamBW, uamRetx = experiments.UAMGoodputUnderLoss(experiments.FaultSeed, 0.01, 60, 1024)
+		_, tcpBW, tcpRetx = experiments.TCPGoodputUnderLoss(experiments.FaultSeed, 0.01, 60<<10, 2048)
+		rawDel, _ = experiments.RawGoodputUnderLoss(experiments.FaultSeed, 0.01, 100, 1024)
+	}
+	b.ReportMetric(uamBW, "MB/s-uam@1%")
+	b.ReportMetric(float64(uamRetx), "retx-uam")
+	b.ReportMetric(tcpBW, "MB/s-tcp@1%")
+	b.ReportMetric(float64(tcpRetx), "retx-tcp")
+	b.ReportMetric(rawDel*100, "%-raw-delivered")
+}
+
 // --- Ablations (design choices from DESIGN.md §5) ---
 
 // BenchmarkAblation_SingleCellFastPath disables the inline-descriptor

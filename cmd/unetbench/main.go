@@ -9,8 +9,11 @@
 //	unetbench -paper               # paper-scale Split-C problem sizes
 //	unetbench -rounds 100          # more ping-pong rounds per point
 //	unetbench -shards -1           # shard each simulation across all cores
+//	unetbench -experiment figloss  # goodput/RTT-vs-loss sweep
+//	unetbench -experiment chaos -loss 0.01 -faultseed 7
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+// figloss chaos ablations
 package main
 
 import (
@@ -31,6 +34,11 @@ func main() {
 		count    = flag.Int("count", 200, "messages per bandwidth point")
 		parallel = flag.Int("parallel", 0, "sweep-point workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		shards   = flag.Int("shards", 0, "shard engines per simulation (0 = serial, <0 = GOMAXPROCS; output is identical either way)")
+
+		faultSeed = flag.Int64("faultseed", experiments.FaultSeed, "seed for the deterministic fault injectors (figloss, chaos)")
+		loss      = flag.Float64("loss", -1, "chaos: override the i.i.d. cell-loss rate (per-cell probability)")
+		burst     = flag.Float64("burst", -1, "chaos: override the Gilbert-Elliott good→bad rate (0 disables burst loss)")
+		flap      = flag.Duration("flap", -1, "chaos: override the link flap period (down for period/10; 0 disables flaps)")
 	)
 	flag.Parse()
 	experiments.MaxParallel = *parallel
@@ -53,8 +61,23 @@ func main() {
 		"fig8":      func() { fmt.Println(experiments.Fig8(1 << 20)) },
 		"fig9":      func() { fmt.Println(experiments.Fig9(*rounds / 2)) },
 		"ablations": func() { fmt.Println(experiments.AblationTable(*rounds / 2)) },
+		"figloss":   func() { fmt.Println(experiments.TableLoss(*faultSeed, *rounds/2, *count/4)) },
+		"chaos": func() {
+			cfg := experiments.DefaultChaos(*faultSeed)
+			if *loss >= 0 {
+				cfg.Plan.LossRate = *loss
+			}
+			if *burst >= 0 {
+				cfg.Plan.BurstPGB = *burst
+			}
+			if *flap >= 0 {
+				cfg.Plan.FlapPeriod = *flap
+				cfg.Plan.FlapDown = *flap / 10
+			}
+			fmt.Println(experiments.Chaos(cfg))
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations"}
+	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "figloss", "chaos"}
 
 	ids := order
 	if *expFlag != "all" {

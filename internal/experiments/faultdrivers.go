@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"unet/internal/faults"
+	"unet/internal/ip/tcp"
+	"unet/internal/sim"
+	"unet/internal/stats"
+	"unet/internal/testbed"
+	"unet/internal/uam"
+	"unet/internal/unet"
+)
+
+// LossRates is the cell-loss sweep for the goodput-under-loss experiments:
+// 0 → 5%. The paper's networks are nearly loss-free (§5.1: cells are
+// "practically never lost"), so the interesting regime for the recovery
+// protocols is the low-percent range where Romanow & Floyd's observation
+// bites — one lost cell costs a whole PDU.
+var LossRates = []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05}
+
+// FaultSeed is the default seed for the fault experiments; every impairment
+// stream derives from it per link, so all results are reproducible and
+// shard-count invariant.
+const FaultSeed int64 = 42
+
+// lossPlan is a pure i.i.d. cell-loss plan.
+func lossPlan(seed int64, rate float64) *faults.Plan {
+	return &faults.Plan{Seed: seed, LossRate: rate}
+}
+
+// LossPoint is one row of the goodput-vs-loss sweep.
+type LossPoint struct {
+	Rate                  float64
+	RawDelivered, RawMBps float64
+	UAMRTT                time.Duration
+	UAMMBps               float64
+	UAMRetx               uint64
+	TCPRTT                time.Duration
+	TCPDelivered, TCPMBps float64
+	TCPRetx               uint64
+}
+
+// RawGoodputUnderLoss streams count size-byte messages over a lossy fabric
+// with no recovery protocol: the delivered fraction falls with the PDU
+// loss rate (≈ 1-(1-p)^cells) and the surviving goodput with it.
+func RawGoodputUnderLoss(seed int64, rate float64, count, size int) (delivered, mbps float64) {
+	tb := testbed.New(testbed.Config{Hosts: 2, Shards: shardCount(), Faults: lossPlan(seed, rate)})
+	defer tb.Close()
+	pr, err := tb.NewPair(0, 1, unet.EndpointConfig{}, 32)
+	mustNoErr(err, "raw loss pair")
+	res := pr.Stream(count, size)
+	return float64(res.Delivered) / float64(count), res.MBps()
+}
+
+// uamPairFaultTB is uamPairTB over an impaired fabric.
+func uamPairFaultTB(cfg uam.Config, pl *faults.Plan) (*testbed.Testbed, *uam.UAM, *uam.UAM) {
+	tb := testbed.New(testbed.Config{Hosts: 2, Shards: shardCount(), Faults: pl})
+	a, err := uam.New(tb.Hosts[0].NewProcess("am"), 0, cfg)
+	mustNoErr(err, "uam node 0")
+	b, err := uam.New(tb.Hosts[1].NewProcess("am"), 1, cfg)
+	mustNoErr(err, "uam node 1")
+	mustNoErr(uam.Connect(tb.Manager, a, b), "uam connect")
+	return tb, a, b
+}
+
+// UAMRTTUnderLoss measures the UAM request/reply round trip over a lossy
+// fabric: lost requests or replies are recovered by the go-back-N
+// retransmission timer, which shows up as a loss-proportional tail on the
+// mean.
+func UAMRTTUnderLoss(seed int64, rate float64, size, rounds int) (rtt time.Duration, retx uint64) {
+	tb, a, b := uamPairFaultTB(uam.Config{}, lossPlan(seed, rate))
+	defer tb.Close()
+	payload := make([]byte, size)
+	//unetlint:allow rawgo cross-shard completion flag; set once after measurement, ordered by the group's window barriers
+	var done atomic.Bool
+	gotReply := false
+	b.RegisterHandler(hEcho, func(u *uam.UAM, p *sim.Proc, src int, arg uint32, data []byte) {
+		if err := u.Reply(p, hEchoR, arg, data); err != nil && !errors.Is(err, uam.ErrPeerDead) {
+			panic(err)
+		}
+	})
+	a.RegisterHandler(hEchoR, func(u *uam.UAM, p *sim.Proc, src int, arg uint32, data []byte) {
+		gotReply = true
+	})
+	var start, end time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for !done.Load() {
+			b.PollWait(p, time.Millisecond)
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		deadline := p.Now() + time.Duration(rounds+1)*100*time.Millisecond
+		for i := 0; i < rounds+1; i++ {
+			if i == 1 {
+				start = p.Now()
+			}
+			gotReply = false
+			if err := a.Request(p, 1, hEcho, uint32(i), payload); err != nil {
+				break
+			}
+			for !gotReply && p.Now() < deadline {
+				a.PollWait(p, time.Millisecond)
+			}
+		}
+		end = p.Now()
+		done.Store(true)
+	})
+	tb.Eng.Run()
+	return (end - start) / time.Duration(rounds), a.Stats().Retransmits + b.Stats().Retransmits
+}
+
+// UAMGoodputUnderLoss stores count size-byte blocks through the reliable
+// UAM layer over a lossy fabric. At low-percent loss rates delivery stays
+// at 100% — the protocol converts loss into retransmissions and reduced
+// goodput, not missing data. At the high end of the sweep whole-PDU loss
+// is so amplified (every cell of every segment must survive two lossy
+// links) that the retry budget can run out and declare the peer dead.
+func UAMGoodputUnderLoss(seed int64, rate float64, count, size int) (delivered, mbps float64, retx uint64) {
+	tb, a, b := uamPairFaultTB(uam.Config{}, lossPlan(seed, rate))
+	defer tb.Close()
+	block := make([]byte, size)
+	//unetlint:allow rawgo cross-shard completion flag; set once after measurement, ordered by the group's window barriers
+	var done atomic.Bool
+	var elapsed time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		for !done.Load() {
+			b.PollWait(p, time.Millisecond)
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		t0 := p.Now()
+		for i := 0; i < count; i++ {
+			if err := a.Store(p, 1, 0, block, 0, 0); err != nil {
+				break
+			}
+		}
+		a.FlushTimeout(p, 1, time.Duration(count)*10*time.Millisecond+500*time.Millisecond)
+		elapsed = p.Now() - t0
+		done.Store(true)
+	})
+	tb.Eng.Run()
+	segs := (size + a.Config().BulkMax - 1) / a.Config().BulkMax
+	delivered = float64(b.Stats().StoreSegs) / float64(count*segs)
+	if elapsed > 0 {
+		mbps = float64(size*count) / elapsed.Seconds() / 1e6
+	}
+	return delivered, mbps, a.Stats().Retransmits
+}
+
+// tcpLossPair builds a U-Net TCP connection pair over an impaired fabric.
+func tcpLossPair(pl *faults.Plan) (*testbed.Testbed, *tcp.Conn, *tcp.Conn) {
+	tb := testbed.New(testbed.Config{Hosts: 2, Shards: shardCount(), Faults: pl})
+	ca, cb, err := tb.NewIPConduitPair(0, 1)
+	mustNoErr(err, "tcp loss pair")
+	return tb, tcp.New(ca, 5000, 80, tcp.DefaultParams()), tcp.New(cb, 80, 5000, tcp.DefaultParams())
+}
+
+// TCPRTTUnderLoss measures the TCP echo round trip over a lossy fabric.
+func TCPRTTUnderLoss(seed int64, rate float64, size, rounds int) time.Duration {
+	tb, a, b := tcpLossPair(lossPlan(seed, rate))
+	defer tb.Close()
+	var rtt time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		if err := b.Accept(p, time.Second); err != nil {
+			return
+		}
+		buf := make([]byte, size)
+		for i := 0; i < rounds+1; i++ {
+			if !readFull(p, b, buf) {
+				return
+			}
+			if b.Write(p, buf) != nil {
+				return
+			}
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		if err := a.Dial(p, time.Second); err != nil {
+			return
+		}
+		buf := make([]byte, size)
+		var start time.Duration
+		for i := 0; i < rounds+1; i++ {
+			if i == 1 {
+				start = p.Now()
+			}
+			if a.Write(p, buf) != nil {
+				return
+			}
+			if !readFull(p, a, buf) {
+				return
+			}
+		}
+		rtt = (p.Now() - start) / time.Duration(rounds)
+	})
+	tb.Eng.Run()
+	return rtt
+}
+
+// TCPGoodputUnderLoss transfers total bytes over a lossy fabric. A single
+// lost cell voids a whole 2 KB segment at the AAL5 CRC (the §7.8 MSS
+// remark), so cell loss is amplified ~40× at the segment level; past a few
+// percent the retry budget can run out and the transfer reports partial
+// delivery.
+func TCPGoodputUnderLoss(seed int64, rate float64, total, writeSize int) (delivered, mbps float64, retx uint64) {
+	tb, a, b := tcpLossPair(lossPlan(seed, rate))
+	defer tb.Close()
+	src := make([]byte, total)
+	for i := range src {
+		src[i] = byte(i*13 + i>>8)
+	}
+	received := 0
+	var t0, t1 time.Duration
+	tb.Hosts[1].Spawn("srv", func(p *sim.Proc) {
+		if err := b.Accept(p, time.Second); err != nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		deadline := p.Now() + 20*time.Second
+		for received < total && p.Now() < deadline {
+			n, err := b.Read(p, buf, 50*time.Millisecond)
+			if err != nil {
+				break
+			}
+			received += n
+			t1 = p.Now()
+		}
+		for k := 0; k < 50; k++ { // ack the tail
+			b.Poll(p)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	tb.Hosts[0].Spawn("cli", func(p *sim.Proc) {
+		if err := a.Dial(p, time.Second); err != nil {
+			return
+		}
+		t0 = p.Now()
+		for off := 0; off < total; off += writeSize {
+			hi := off + writeSize
+			if hi > total {
+				hi = total
+			}
+			if a.Write(p, src[off:hi]) != nil {
+				return
+			}
+		}
+		a.Flush(p, 20*time.Second)
+	})
+	tb.Eng.Run()
+	delivered = float64(received) / float64(total)
+	if t1 > t0 {
+		mbps = float64(received) / (t1 - t0).Seconds() / 1e6
+	}
+	st := a.Stats()
+	return delivered, mbps, st.Retransmits + st.FastRetransmits
+}
+
+// LossSweep runs the full goodput/RTT-vs-loss sweep at the given scale.
+func LossSweep(seed int64, rounds, count int) []LossPoint {
+	pts := make([]LossPoint, len(LossRates))
+	ParallelPoints(len(LossRates), func(i int) {
+		rate := LossRates[i]
+		pts[i].Rate = rate
+		pts[i].RawDelivered, pts[i].RawMBps = RawGoodputUnderLoss(seed, rate, count, 1024)
+		pts[i].UAMRTT, _ = UAMRTTUnderLoss(seed, rate, 32, rounds)
+		_, pts[i].UAMMBps, pts[i].UAMRetx = UAMGoodputUnderLoss(seed, rate, count, 1024)
+		pts[i].TCPRTT = TCPRTTUnderLoss(seed, rate, 32, rounds)
+		pts[i].TCPDelivered, pts[i].TCPMBps, pts[i].TCPRetx = TCPGoodputUnderLoss(seed, rate, count*1024, 2048)
+	})
+	return pts
+}
+
+// TableLoss renders the goodput-under-loss sweep: raw AAL5 loses PDUs in
+// proportion to the cell-loss rate while the reliable layers keep
+// delivering at the cost of retransmissions, latency tails and goodput.
+func TableLoss(seed int64, rounds, count int) *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("Goodput and RTT under cell loss (seed %d)", seed))
+	t.Header("loss", "raw del", "raw MB/s", "UAM RTT µs", "UAM MB/s", "UAM retx", "TCP RTT µs", "TCP del", "TCP MB/s", "TCP retx")
+	for _, pt := range LossSweep(seed, rounds, count) {
+		t.Row(
+			fmt.Sprintf("%.1f%%", pt.Rate*100),
+			fmt.Sprintf("%.1f%%", pt.RawDelivered*100),
+			fmt.Sprintf("%.1f", pt.RawMBps),
+			fmt.Sprintf("%.0f", float64(pt.UAMRTT)/float64(time.Microsecond)),
+			fmt.Sprintf("%.1f", pt.UAMMBps),
+			fmt.Sprintf("%d", pt.UAMRetx),
+			fmt.Sprintf("%.0f", float64(pt.TCPRTT)/float64(time.Microsecond)),
+			fmt.Sprintf("%.1f%%", pt.TCPDelivered*100),
+			fmt.Sprintf("%.1f", pt.TCPMBps),
+			fmt.Sprintf("%d", pt.TCPRetx),
+		)
+	}
+	return t
+}
+
+// ChaosConfig parameterizes the chaos soak: an all-to-all storm on the
+// 8-host mesh with every impairment model active at once.
+type ChaosConfig struct {
+	Hosts int
+	Count int // messages per host
+	Size  int
+	Plan  faults.Plan
+}
+
+// DefaultChaos is the standard chaos soak: moderate i.i.d. loss, bursty
+// Gilbert-Elliott loss, payload and header corruption, duplication,
+// bounded jitter, periodic link flaps and a finite switch output queue —
+// all seeded, all deterministic.
+func DefaultChaos(seed int64) ChaosConfig {
+	return ChaosConfig{
+		Hosts: 8,
+		Count: 40,
+		Size:  1024,
+		Plan: faults.Plan{
+			Seed:             seed,
+			LossRate:         0.002,
+			BurstPGB:         0.001,
+			BurstPBG:         0.25,
+			BurstLoss:        1,
+			CorruptRate:      0.001,
+			HdrCorruptRate:   0.0005,
+			DupRate:          0.001,
+			JitterRate:       0.01,
+			JitterBound:      10 * time.Microsecond,
+			FlapPeriod:       20 * time.Millisecond,
+			FlapDown:         400 * time.Microsecond,
+			FlapOffset:       3 * time.Millisecond,
+			SwitchQueueCells: 64,
+		},
+	}
+}
+
+// Chaos runs the seeded chaos soak and reports per-host delivery alongside
+// the impairment and drop accounting from every layer: injected faults,
+// switch queue tail-drops and NIC CRC rejections. The output is
+// deterministic for a given seed and identical at any shard count.
+func Chaos(cfg ChaosConfig) *stats.Table {
+	tb := testbed.New(testbed.Config{Hosts: cfg.Hosts, Shards: shardCount(), Faults: &cfg.Plan})
+	defer tb.Close()
+	m, err := tb.NewMesh(unet.EndpointConfig{SegmentSize: 1 << 20}, 64)
+	mustNoErr(err, "chaos mesh")
+	res, end := m.Storm(cfg.Count, cfg.Size)
+
+	t := stats.NewTable(fmt.Sprintf("Chaos soak: %d hosts, %d×%dB all-to-all (seed %d)",
+		cfg.Hosts, cfg.Count, cfg.Size, cfg.Plan.Seed))
+	t.Header("host", "sent", "received", "last recv µs")
+	sent, recv := 0, 0
+	for i, r := range res {
+		t.Row(fmt.Sprintf("%d", i), fmt.Sprintf("%d", r.Sent), fmt.Sprintf("%d", r.Received),
+			fmt.Sprintf("%.0f", float64(r.LastRecv)/float64(time.Microsecond)))
+		sent += r.Sent
+		recv += r.Received
+	}
+	ft := tb.FaultTotal()
+	var crc, badPDUs uint64
+	for _, d := range tb.Devices {
+		crc += d.Stats().CrcDrops
+		badPDUs += d.Stats().BadPDUs
+	}
+	t.Row("total", fmt.Sprintf("%d", sent), fmt.Sprintf("%d", recv),
+		fmt.Sprintf("%.0f", float64(end)/float64(time.Microsecond)))
+	t.Row("faults", fmt.Sprintf("cells %d", ft.Cells),
+		fmt.Sprintf("drop %d+%d", ft.Dropped, ft.DownDrops),
+		fmt.Sprintf("corrupt %d/%d dup %d delay %d", ft.Corrupted, ft.HdrDamage, ft.Duplicate, ft.Delayed))
+	t.Row("drops", fmt.Sprintf("switchq %d", tb.Fabric.Switch.TotalQueueDrops()),
+		fmt.Sprintf("crc %d", crc), fmt.Sprintf("badpdu %d", badPDUs))
+	return t
+}

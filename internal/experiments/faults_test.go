@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// faultScale is the scaled-down rendering used by the golden tests: small
+// enough to run in seconds, large enough that every impairment model and
+// recovery path actually fires.
+func renderFaults() string {
+	return fmt.Sprintf("%v\n%v", TableLoss(FaultSeed, 4, 30), Chaos(DefaultChaos(FaultSeed)))
+}
+
+// TestGoldenFaultDeterminism is the determinism contract of the fault
+// subsystem: with a fixed seed, the full loss sweep and the chaos soak
+// must render byte-identically on reruns and at every shard count — the
+// impairment streams are keyed per link, never per execution layout.
+func TestGoldenFaultDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault golden sweep is not short")
+	}
+	defer func(old int) { Shards = old }(Shards)
+
+	Shards = 0
+	serial := renderFaults()
+	if len(serial) == 0 {
+		t.Fatal("empty serial rendering")
+	}
+	if again := renderFaults(); again != serial {
+		t.Fatalf("same-seed reruns diverged:\n--- first ---\n%s\n--- second ---\n%s", serial, again)
+	}
+	for _, k := range []int{1, 2, 4} {
+		Shards = k
+		if got := renderFaults(); got != serial {
+			t.Fatalf("shards=%d diverged from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				k, serial, got)
+		}
+	}
+	if !strings.Contains(serial, "5.0%") {
+		t.Fatalf("sweep did not reach the 5%% loss point:\n%s", serial)
+	}
+}
+
+// TestLossRecoveryDelivery pins the acceptance criterion of the recovery
+// paths: at ≤1% cell loss the reliable layers deliver 100% of the data
+// with a bounded number of retransmissions, while raw AAL5 loses PDUs
+// roughly in proportion to the cell-loss rate.
+func TestLossRecoveryDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loss recovery sweep is not short")
+	}
+	const count = 60
+
+	uamDel, _, uamRetx := UAMGoodputUnderLoss(FaultSeed, 0.01, count, 1024)
+	if uamDel != 1.0 {
+		t.Fatalf("UAM delivered %.1f%% at 1%% cell loss, want 100%%", uamDel*100)
+	}
+	if uamRetx == 0 {
+		t.Fatal("UAM saw no retransmissions at 1% cell loss")
+	}
+	// Each 1024B store is one 22-cell PDU crossing two lossy links, so at
+	// 1% cell loss roughly a third of PDUs need at least one go-back-N
+	// replay (which resends the whole window). That bounds retransmits
+	// well under count*window.
+	if uamRetx > uint64(count*8) {
+		t.Fatalf("UAM retransmits = %d for %d stores: recovery not bounded", uamRetx, count)
+	}
+
+	tcpDel, _, tcpRetx := TCPGoodputUnderLoss(FaultSeed, 0.01, count*1024, 2048)
+	if tcpDel != 1.0 {
+		t.Fatalf("TCP delivered %.1f%% at 1%% cell loss, want 100%%", tcpDel*100)
+	}
+	if tcpRetx == 0 {
+		t.Fatal("TCP saw no retransmissions at 1% cell loss")
+	}
+
+	rawDel, _ := RawGoodputUnderLoss(FaultSeed, 0.02, 200, 1024)
+	if rawDel >= 1.0 {
+		t.Fatalf("raw AAL5 delivered %.1f%% at 2%% cell loss, want visible PDU loss", rawDel*100)
+	}
+	// 1024B = 22 cells per PDU: expected survival (0.98)^22 ≈ 64%. Allow a
+	// wide band — the point is proportional loss, not the exact binomial.
+	if rawDel < 0.3 || rawDel > 0.95 {
+		t.Fatalf("raw AAL5 delivered %.1f%% at 2%% cell loss, want roughly (1-p)^cells ≈ 64%%", rawDel*100)
+	}
+}

@@ -238,7 +238,7 @@ func TestPerInputPortProtection(t *testing.T) {
 	cl := NewCluster(e, "cl", 3, LinkParams{CellTime: 1 * us}, 0)
 	col := &collector{e: e}
 	cl.SetHostSink(1, col)
-	cl.Route(0, 40, 1) // channel host0 → host1 on VCI 40
+	cl.Route(0, 40, 1)                   // channel host0 → host1 on VCI 40
 	cl.Uplink(0).Send(atm.Cell{VCI: 40}) // legitimate
 	cl.Uplink(2).Send(atm.Cell{VCI: 40}) // forged by host 2
 	e.Run()

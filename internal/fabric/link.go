@@ -70,6 +70,30 @@ func DefaultLinkParams() LinkParams {
 type LinkStats struct {
 	CellsSent uint64
 	CellsLost uint64
+	// CellsDuplicated counts extra copies enqueued by an impairment
+	// injector (each copy also appears in the receiver's cell count).
+	CellsDuplicated uint64
+}
+
+// Verdict is an impairment decision for one cell about to leave a
+// transmitter: drop it, deliver a second copy, and/or delay its arrival.
+type Verdict struct {
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration // extra arrival delay beyond propagation
+}
+
+// Injector decides the fate of each transmitted cell; internal/faults
+// provides implementations. Judge may mutate the cell in place (bit
+// corruption) — the link passes a private copy. Implementations must be
+// deterministic functions of their own seeded state and the (cell,
+// departure-time) sequence they observe — never of the engine's RNG, the
+// wall clock, or anything shard-dependent — so fault outcomes are
+// byte-identical at every shard count. Judging must charge no virtual
+// time: impairments reshape the delivery schedule, they never stall the
+// transmitter.
+type Injector interface {
+	Judge(c *atm.Cell, depart time.Duration) Verdict
 }
 
 // inflight is one cell on the wire, tagged with its arrival time at the far
@@ -98,7 +122,19 @@ type Link struct {
 	tsink    TrainSink // sink, if it also implements TrainSink
 	nextFree time.Duration
 	lossFn   func(atm.Cell) bool
+	inj      Injector
 	stats    LinkStats
+
+	// lastArrive clamps impaired arrivals: the in-flight ring is ordered by
+	// arrival time, and a fiber never reorders, so a jittered cell delays
+	// everything behind it rather than being overtaken.
+	lastArrive time.Duration
+
+	// scratch is the private cell copy handed to the injector. It lives on
+	// the (already heap-allocated) Link so the Judge interface call never
+	// forces SendAt's cell parameter to escape — the steady-state data path
+	// stays allocation-free whether or not an injector is installed.
+	scratch atm.Cell
 
 	pend  []inflight // power-of-two ring of cells on the wire
 	head  int
@@ -205,6 +241,11 @@ func (l *Link) SetLossRate(rate float64) {
 	l.lossFn = func(atm.Cell) bool { return l.e.Rand().Float64() < rate }
 }
 
+// SetInjector installs an impairment injector (nil disables it). The
+// injector judges every cell after the loss predicate, at its departure
+// time.
+func (l *Link) SetInjector(inj Injector) { l.inj = inj }
+
 // Send enqueues c for transmission and returns the virtual time at which
 // its last bit leaves the transmitter. Delivery to the sink is scheduled
 // automatically.
@@ -232,16 +273,43 @@ func (l *Link) SendAt(c atm.Cell, start time.Duration) time.Duration {
 		l.stats.CellsLost++
 		return depart
 	}
-	if l.peer != nil {
-		l.outbox = append(l.outbox, inflight{c: c, arrive: depart + l.p.Propagation})
+	if l.inj != nil {
+		l.scratch = c
+		v := l.inj.Judge(&l.scratch, depart)
+		if v.Drop {
+			l.stats.CellsLost++
+			return depart
+		}
+		arrive := depart + l.p.Propagation + v.Delay
+		if arrive < l.lastArrive {
+			arrive = l.lastArrive
+		}
+		l.lastArrive = arrive
+		l.enqueue(l.scratch, arrive)
+		if v.Duplicate {
+			l.stats.CellsDuplicated++
+			l.lastArrive = arrive + l.p.CellTime
+			l.enqueue(l.scratch, l.lastArrive)
+		}
 		return depart
 	}
-	l.push(inflight{c: c, arrive: depart + l.p.Propagation})
+	l.enqueue(c, depart+l.p.Propagation)
+	return depart
+}
+
+// enqueue hands an in-flight cell to the delivery machinery: the
+// cross-shard outbox on a tx half, the local ring (arming the delivery
+// event) otherwise.
+func (l *Link) enqueue(c atm.Cell, arrive time.Duration) {
+	if l.peer != nil {
+		l.outbox = append(l.outbox, inflight{c: c, arrive: arrive})
+		return
+	}
+	l.push(inflight{c: c, arrive: arrive})
 	if !l.armed {
 		l.armed = true
 		l.e.AtArg(l.pend[l.head].arrive, linkFire, l)
 	}
-	return depart
 }
 
 // push appends to the in-flight ring, growing it when full.

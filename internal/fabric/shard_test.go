@@ -137,8 +137,8 @@ func TestCrossLinkRejectsBadEndpoints(t *testing.T) {
 	dst := root.NewShard(2)
 	other := sim.New(3) // not in the group
 	for _, tc := range []struct {
-		name     string
-		src, d   *sim.Engine
+		name   string
+		src, d *sim.Engine
 	}{
 		{"foreign src", other, dst},
 		{"foreign dst", root, other},

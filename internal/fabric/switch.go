@@ -31,6 +31,12 @@ type Switch struct {
 	out     []*Link
 	unknown uint64
 	free    *fwdJob // recycled forwarding jobs
+
+	// qcells bounds each output port's queue: a cell is tail-dropped when
+	// the port's serialization backlog already holds qcells cells' worth of
+	// time. 0 means unbounded (the seed behavior).
+	qcells int
+	qdrops []uint64 // per-port tail drops
 }
 
 type routeKey struct {
@@ -47,6 +53,7 @@ type routeKey struct {
 type fwdJob struct {
 	s       *Switch
 	link    *Link
+	port    int
 	cells   []atm.Cell
 	start   time.Duration // forwarding time of cells[0]
 	spacing time.Duration
@@ -57,14 +64,25 @@ type fwdJob struct {
 func fwdFire(a any) {
 	j := a.(*fwdJob)
 	t := j.start
+	s := j.s
+	qlimit := time.Duration(s.qcells) * j.link.p.CellTime
 	for _, c := range j.cells {
+		// Finite output queue: if the port's committed serialization debt at
+		// the forwarding instant already covers qcells cells, this cell finds
+		// the queue full and is tail-dropped. Its arrival slot stays empty —
+		// the link is not charged for a cell that never entered the queue.
+		if qlimit > 0 && j.link.NextFree()-t >= qlimit {
+			s.qdrops[j.port]++
+			t += j.spacing
+			continue
+		}
 		j.link.SendAt(c, t)
 		t += j.spacing
 	}
 	j.cells = j.cells[:0]
 	j.link = nil
-	j.next = j.s.free
-	j.s.free = j
+	j.next = s.free
+	s.free = j
 }
 
 func (s *Switch) getJob() *fwdJob {
@@ -100,7 +118,29 @@ func NewSwitchWithLinks(e *sim.Engine, name string, latency time.Duration, out [
 			panic(fmt.Sprintf("fabric: switch %s output link %s transmits on a foreign shard", name, l.name))
 		}
 	}
-	return &Switch{e: e, name: name, latency: latency, routes: make(map[routeKey]int), out: out}
+	return &Switch{e: e, name: name, latency: latency, routes: make(map[routeKey]int), out: out, qdrops: make([]uint64, len(out))}
+}
+
+// SetOutputQueueCells bounds every output port's queue to n cells; cells
+// forwarded to a port whose backlog is full are tail-dropped and counted
+// in QueueDrops. n <= 0 restores the unbounded queue.
+func (s *Switch) SetOutputQueueCells(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.qcells = n
+}
+
+// QueueDrops reports cells tail-dropped at an output port's finite queue.
+func (s *Switch) QueueDrops(port int) uint64 { return s.qdrops[port] }
+
+// TotalQueueDrops sums tail drops over all output ports.
+func (s *Switch) TotalQueueDrops() uint64 {
+	var sum uint64
+	for _, d := range s.qdrops {
+		sum += d
+	}
+	return sum
 }
 
 // Route installs (or replaces) the output port for a VCI arriving on input
@@ -155,6 +195,7 @@ func (s *Switch) deliver(in int, c atm.Cell, at time.Duration) {
 	}
 	j := s.getJob()
 	j.link = s.out[port]
+	j.port = port
 	j.cells = append(j.cells, c)
 	j.start = at + s.latency
 	j.spacing = 0
@@ -184,6 +225,7 @@ func (s *Switch) deliverTrain(in int, cells []atm.Cell, first, spacing time.Dura
 		}
 		j := s.getJob()
 		j.link = s.out[port]
+		j.port = port
 		j.cells = append(j.cells, cells[i:run]...)
 		j.start = first + time.Duration(i)*spacing + s.latency
 		j.spacing = spacing

@@ -112,6 +112,7 @@ func (c *Conn) processAck(p *sim.Proc, seg segment) {
 	acked := int(ack - c.sndUna)
 	c.sndUna = ack
 	c.dupAcks = 0
+	c.consecTimeouts = 0 // ack progress refills the retry budget
 	if acked <= len(c.sendQ) {
 		c.sendQ = c.sendQ[acked:]
 	} else {
@@ -297,9 +298,22 @@ func (c *Conn) timeout(p *sim.Proc) {
 		c.retransDeadline = 0
 		return
 	}
+	c.consecTimeouts++
+	if c.consecTimeouts > c.params.MaxTimeouts {
+		// The retry budget is spent: the peer is unreachable. Stop the
+		// timers and let the blocking operations surface ErrPeerDead.
+		c.dead = true
+		c.retransDeadline = 0
+		c.persistDeadline = 0
+		return
+	}
 	c.ssthresh = maxInt(inflight/2, 2*c.params.MSS)
 	c.cwnd = c.params.MSS
 	c.rtActive = false
+	// Duplicate acks counted before the timeout refer to the flight we are
+	// about to resend; left in place they could trigger a bogus fast
+	// retransmit on the first post-recovery duplicate.
+	c.dupAcks = 0
 	if c.rtoTicks < 1<<16 {
 		c.rtoTicks *= 2
 	}

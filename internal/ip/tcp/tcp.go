@@ -35,9 +35,10 @@ const (
 
 // Errors returned by the TCP layer.
 var (
-	ErrClosed  = errors.New("tcp: connection closed")
-	ErrTimeout = errors.New("tcp: operation timed out")
-	ErrState   = errors.New("tcp: operation invalid in this state")
+	ErrClosed   = errors.New("tcp: connection closed")
+	ErrTimeout  = errors.New("tcp: operation timed out")
+	ErrState    = errors.New("tcp: operation invalid in this state")
+	ErrPeerDead = errors.New("tcp: peer unresponsive, retry limit exceeded")
 )
 
 // Params is the TCP configuration and cost model.
@@ -72,6 +73,12 @@ type Params struct {
 	// Checksum enables the Internet checksum (cost per byte as UDP §7.6).
 	Checksum        bool
 	ChecksumPerByte time.Duration
+	// MaxTimeouts bounds consecutive retransmission timeouts without ack
+	// progress. Past the limit the connection is declared dead and
+	// blocking operations return ErrPeerDead — the backoff already made
+	// the final intervals long, so retrying forever only hides the
+	// failure from the application.
+	MaxTimeouts int
 }
 
 // DefaultParams returns the U-Net TCP configuration (§7.8).
@@ -87,6 +94,7 @@ func DefaultParams() Params {
 		ProcRx:           8 * time.Microsecond,
 		Checksum:         true,
 		ChecksumPerByte:  10 * time.Nanosecond,
+		MaxTimeouts:      12,
 	}
 }
 
@@ -147,6 +155,10 @@ type Conn struct {
 	retransDeadline time.Duration
 	persistDeadline time.Duration
 
+	// Liveness: consecutive retransmission timeouts without ack progress.
+	consecTimeouts int
+	dead           bool
+
 	// Receive state.
 	irs         uint32
 	rcvNxt      uint32
@@ -177,6 +189,9 @@ func New(c ip.Conduit, localPort, remotePort uint16, params Params) *Conn {
 	if params.DelayedAckDelay <= 0 {
 		params.DelayedAckDelay = 200 * time.Millisecond
 	}
+	if params.MaxTimeouts <= 0 {
+		params.MaxTimeouts = 12
+	}
 	// Before the first round-trip sample the retransmission timer is
 	// conservative (BSD initializes to seconds), so a long-latency path
 	// does not suffer spurious timeouts during the handshake and first
@@ -200,6 +215,10 @@ func (c *Conn) Stats() Stats { return c.stats }
 
 // State reports whether the connection is established.
 func (c *Conn) Established() bool { return c.st == stEstablished || c.st == stCloseWait }
+
+// Dead reports whether the connection exhausted its retransmission retry
+// budget (MaxTimeouts consecutive timeouts without ack progress).
+func (c *Conn) Dead() bool { return c.dead }
 
 // --- sequence arithmetic ---
 
@@ -311,6 +330,9 @@ func (c *Conn) Dial(p *sim.Proc, timeout time.Duration) error {
 	c.armRetransmit(p)
 	deadline := p.Now() + timeout
 	for c.st != stEstablished {
+		if c.dead {
+			return ErrPeerDead
+		}
 		if p.Now() >= deadline {
 			return ErrTimeout
 		}
@@ -328,6 +350,9 @@ func (c *Conn) Accept(p *sim.Proc, timeout time.Duration) error {
 	c.st = stListen
 	deadline := p.Now() + timeout
 	for c.st != stEstablished {
+		if c.dead {
+			return ErrPeerDead
+		}
 		if p.Now() >= deadline {
 			return ErrTimeout
 		}
@@ -344,6 +369,9 @@ func (c *Conn) Write(p *sim.Proc, data []byte) error {
 		return ErrState
 	}
 	for len(data) > 0 {
+		if c.dead {
+			return ErrPeerDead
+		}
 		space := c.params.SendBufBytes - len(c.sendQ)
 		if space <= 0 {
 			c.pump(p, c.params.TimerGranularity)
@@ -363,6 +391,9 @@ func (c *Conn) Write(p *sim.Proc, data []byte) error {
 func (c *Conn) Flush(p *sim.Proc, timeout time.Duration) error {
 	deadline := p.Now() + timeout
 	for len(c.sendQ) > 0 {
+		if c.dead {
+			return ErrPeerDead
+		}
 		if p.Now() >= deadline {
 			return ErrTimeout
 		}
@@ -381,6 +412,9 @@ func (c *Conn) Read(p *sim.Proc, buf []byte, timeout time.Duration) (int, error)
 	for len(c.rcvBuf) == 0 {
 		if c.finRcvd {
 			return 0, ErrClosed
+		}
+		if c.dead {
+			return 0, ErrPeerDead
 		}
 		if p.Now() >= deadline {
 			return 0, nil
@@ -417,6 +451,9 @@ func (c *Conn) Close(p *sim.Proc, timeout time.Duration) error {
 	c.armRetransmit(p)
 	deadline := p.Now() + timeout
 	for seqLT(c.sndUna, c.sndNxt) {
+		if c.dead {
+			return ErrPeerDead
+		}
 		if p.Now() >= deadline {
 			return ErrTimeout
 		}

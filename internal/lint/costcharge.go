@@ -20,9 +20,15 @@ import (
 // calls; intake paths that legitimately cost nothing (a FIFO accepting an
 // already-paid-for arrival) carry an //unetlint:allow costcharge
 // annotation naming where the cost is charged instead.
+//
+// internal/faults is held to the opposite contract: an injector judges
+// cells on the transmitter's critical path, and the Injector interface
+// promises that judging charges no virtual time — impairments reshape the
+// delivery schedule, they never stall the transmitter. There a cell-taking
+// method that reaches a time-spending call is the defect.
 var CostCharge = &Analyzer{
 	Name: "costcharge",
-	Doc:  "require exported NIC/fabric cell-moving methods to charge virtual-time cost",
+	Doc:  "require exported NIC/fabric cell-moving methods to charge virtual-time cost; forbid fault injectors from spending it",
 	Run:  runCostCharge,
 }
 
@@ -44,14 +50,18 @@ var costIdents = map[string]bool{"cursor": true, "latency": true}
 
 func runCostCharge(pass *Pass) {
 	seg := simSegment(pass.Unit.PkgPath)
-	if (seg != "nic" && seg != "fabric") || pass.Unit.ForTest {
+	if (seg != "nic" && seg != "fabric" && seg != "faults") || pass.Unit.ForTest {
 		return
 	}
 
-	// Collect every function declared in the unit and whether it directly
-	// charges cost.
+	// Collect every function declared in the unit, whether it directly
+	// charges cost (any evidence) and whether it directly spends virtual
+	// time (an unambiguous time-spending call — the stricter signal the
+	// injector rule needs, since injectors may read timing parameters like
+	// CellTime without ever stalling anyone).
 	decls := make(map[*types.Func]*ast.FuncDecl)
 	charges := make(map[*types.Func]bool)
+	spends := make(map[*types.Func]bool)
 	callees := make(map[*types.Func][]*types.Func)
 	for _, f := range pass.Unit.Files {
 		for _, decl := range f.Decls {
@@ -67,6 +77,9 @@ func runCostCharge(pass *Pass) {
 			if directlyCharges(pass, fd) {
 				charges[fn] = true
 			}
+			if directlySpends(fd) {
+				spends[fn] = true
+			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if call, ok := n.(*ast.CallExpr); ok {
 					if callee := calleeFunc(pass, call); callee != nil {
@@ -78,22 +91,35 @@ func runCostCharge(pass *Pass) {
 		}
 	}
 
-	// Propagate: a function charges if anything it calls (within this
-	// package) charges.
+	// Propagate: a function charges (or spends) if anything it calls
+	// (within this package) does.
 	for changed := true; changed; {
 		changed = false
 		for fn := range decls {
-			if charges[fn] {
-				continue
-			}
 			for _, callee := range callees[fn] {
-				if charges[callee] {
+				if charges[callee] && !charges[fn] {
 					charges[fn] = true
 					changed = true
-					break
+				}
+				if spends[callee] && !spends[fn] {
+					spends[fn] = true
+					changed = true
 				}
 			}
 		}
+	}
+
+	if seg == "faults" {
+		for fn, fd := range decls {
+			if fd.Recv == nil || !spends[fn] || !hasCellParam(fn) {
+				continue
+			}
+			if strings.HasSuffix(pass.Unit.Fset.Position(fd.Pos()).Filename, "_test.go") {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "fault-injector method %s judges cells but spends virtual time (directly or via same-package calls); impairments must reshape the delivery schedule, never stall the transmitter", fd.Name.Name)
+		}
+		return
 	}
 
 	for fn, fd := range decls {
@@ -108,6 +134,33 @@ func runCostCharge(pass *Pass) {
 		}
 		pass.Reportf(fd.Name.Pos(), "exported fast-path method %s moves cells but never charges a virtual-time cost (no cursor arithmetic, sleep, or cost-parameter reference, directly or via same-package calls)", fd.Name.Name)
 	}
+}
+
+// directlySpends reports whether fd's body contains an unambiguous
+// time-spending call (Sleep, charge, …) — the evidence that convicts a
+// fault injector, which must never stall the transmitter.
+func directlySpends(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			var name string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if chargeCalls[name] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // directlyCharges reports whether fd's body contains first-hand charging

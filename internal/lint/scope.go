@@ -11,6 +11,7 @@ import "strings"
 var simScope = map[string]bool{
 	"sim":         true,
 	"fabric":      true,
+	"faults":      true,
 	"nic":         true,
 	"atm":         true,
 	"unet":        true,

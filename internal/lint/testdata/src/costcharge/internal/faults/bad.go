@@ -1,0 +1,29 @@
+package faults
+
+import "time"
+
+// Staller breaks the injector contract: its Judge spends virtual time on
+// the transmitter's critical path.
+type Staller struct {
+	p proc
+}
+
+func (s *Staller) Judge(c *Cell, depart time.Duration) Verdict { // want `Judge judges cells but spends virtual time`
+	s.p.Sleep(time.Microsecond)
+	_ = c
+	return Verdict{}
+}
+
+// Indirect spends through a same-package helper: transitive evidence
+// convicts it just the same.
+type Indirect struct {
+	p proc
+}
+
+func (i *Indirect) Judge(c *Cell, depart time.Duration) Verdict { // want `Judge judges cells but spends virtual time`
+	i.stall()
+	_ = c
+	return Verdict{}
+}
+
+func (i *Indirect) stall() { i.p.Sleep(time.Microsecond) }

@@ -1,0 +1,42 @@
+// Package faults mirrors the injector shapes: a Judge method is on the
+// transmitter's critical path and must never spend virtual time. Reading
+// timing parameters (CellTime, a jitter bound) is fine — that is schedule
+// arithmetic, not stalling.
+package faults
+
+import "time"
+
+// Cell mirrors atm.Cell; costcharge matches cell parameters by named-type
+// name.
+type Cell struct{ payload [48]byte }
+
+type proc struct{}
+
+func (proc) Sleep(time.Duration) {}
+
+// Verdict mirrors fabric.Verdict.
+type Verdict struct {
+	Drop  bool
+	Delay time.Duration
+}
+
+// Jitter delays cells without ever stalling anyone: it only reshapes the
+// delivery schedule via the verdict.
+type Jitter struct {
+	bound time.Duration
+	cells uint64
+}
+
+func (j *Jitter) Judge(c *Cell, depart time.Duration) Verdict {
+	j.cells++
+	_ = c
+	return Verdict{Delay: j.bound}
+}
+
+// Corruptor mutates the cell in place — free, as all judging must be.
+type Corruptor struct{}
+
+func (Corruptor) Judge(c *Cell, depart time.Duration) Verdict {
+	c.payload[0] ^= 1
+	return Verdict{}
+}

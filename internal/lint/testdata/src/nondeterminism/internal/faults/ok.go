@@ -1,0 +1,29 @@
+// Package faults shows the injector seeding idiom the nondeterminism
+// analyzer permits: every impairment model owns a *rand.Rand built from an
+// explicitly derived seed, never the global process-seeded source.
+package faults
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// deriveSeed mixes the fault seed with the link name so each link gets an
+// independent but reproducible stream.
+func deriveSeed(seed int64, link string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(link))
+	return seed ^ int64(h.Sum64())
+}
+
+// iid drops cells independently from its own seeded stream.
+type iid struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+func newIID(seed int64, link string, rate float64) *iid {
+	return &iid{rng: rand.New(rand.NewSource(deriveSeed(seed, link))), rate: rate}
+}
+
+func (l *iid) drop() bool { return l.rng.Float64() < l.rate }

@@ -36,6 +36,7 @@ type Stats struct {
 	PDUsIn       uint64
 	InFIFODrops  uint64 // cells lost to input FIFO overflow
 	BadPDUs      uint64 // AAL5 CRC/length failures (lost or corrupt cells)
+	CrcDrops     uint64 // subset of BadPDUs: CRC-32 mismatch (corrupt payload)
 	UnknownVCIs  uint64 // cells on unregistered VCIs
 	DirectDenied uint64 // direct-access PDUs to non-direct endpoints
 	// Doorbells counts KickTx rings; DoorbellsCoalesced counts the rings
@@ -516,7 +517,12 @@ func (d *Device) processCell(p *sim.Proc, c atm.Cell, cursor time.Duration) time
 	}
 	payload, err := ent.reasm.Add(c)
 	if err != nil {
+		// Add has already reset the reassembler, returning its slab to the
+		// arena — the drop path holds no pooled state past this point.
 		d.stats.BadPDUs++
+		if errors.Is(err, atm.ErrBadCRC) {
+			d.stats.CrcDrops++
+		}
 		d.syncTo(p, cursor)
 		ent.ep.DevDropReassembly()
 		return cursor

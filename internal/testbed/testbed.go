@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"unet/internal/fabric"
+	"unet/internal/faults"
 	"unet/internal/nic"
 	"unet/internal/sim"
 	"unet/internal/unet"
@@ -35,6 +36,11 @@ type Config struct {
 	// each run on its own goroutine under the conservative window protocol
 	// (see internal/sim shard.go). Results are byte-identical to serial.
 	Shards int
+	// Faults applies a deterministic impairment plan (internal/faults) to
+	// every uplink and downlink and, if SwitchQueueCells is set, bounds the
+	// switch output queues. nil (or an all-zero plan) is the perfect wire —
+	// byte-identical to the fault-free testbed at any shard count.
+	Faults *faults.Plan
 }
 
 // Testbed is an assembled cluster.
@@ -44,6 +50,12 @@ type Testbed struct {
 	Manager *unet.Manager
 	Hosts   []*unet.Host
 	Devices []*nic.Device
+
+	// UpFaults and DownFaults are the per-link injector chains installed by
+	// Config.Faults (nil entries when the plan leaves links clean): host i's
+	// transmit path into the switch and the switch's output toward host i.
+	UpFaults   []*faults.Chain
+	DownFaults []*faults.Chain
 }
 
 // New builds a cluster per cfg.
@@ -93,7 +105,49 @@ func New(cfg Config) *Testbed {
 		tb.Hosts = append(tb.Hosts, h)
 		tb.Devices = append(tb.Devices, d)
 	}
+	if cfg.Faults != nil {
+		pl := *cfg.Faults
+		tb.UpFaults = make([]*faults.Chain, cfg.Hosts)
+		tb.DownFaults = make([]*faults.Chain, cfg.Hosts)
+		for i := 0; i < cfg.Hosts; i++ {
+			// Per-link streams are keyed by the fixed link names, so the fault
+			// pattern a host sees does not depend on the shard layout.
+			if ch := pl.Build(fmt.Sprintf("atm.up%d", i)); ch != nil {
+				tb.UpFaults[i] = ch
+				fc.Uplink(i).SetInjector(ch)
+			}
+			if ch := pl.Build(fmt.Sprintf("atm.sw.port%d", i)); ch != nil {
+				tb.DownFaults[i] = ch
+				fc.Downlink(i).SetInjector(ch)
+			}
+		}
+		if pl.SwitchQueueCells > 0 {
+			fc.Switch.SetOutputQueueCells(pl.SwitchQueueCells)
+		}
+	}
 	return tb
+}
+
+// FaultTotal sums impairment accounting over every installed injector
+// chain (zero when Config.Faults was nil).
+func (tb *Testbed) FaultTotal() faults.FaultStats {
+	var sum faults.FaultStats
+	for _, chains := range [][]*faults.Chain{tb.UpFaults, tb.DownFaults} {
+		for _, ch := range chains {
+			if ch == nil {
+				continue
+			}
+			s := ch.Stats()
+			sum.Cells += s.Cells
+			sum.Dropped += s.Dropped
+			sum.Corrupted += s.Corrupted
+			sum.HdrDamage += s.HdrDamage
+			sum.Duplicate += s.Duplicate
+			sum.Delayed += s.Delayed
+			sum.DownDrops += s.DownDrops
+		}
+	}
+	return sum
 }
 
 // Close shuts the engine down, unwinding all simulated processes.

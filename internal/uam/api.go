@@ -237,6 +237,9 @@ func (u *UAM) Flush(p *sim.Proc, dst int) error {
 		u.sendAckPing(p, pe)
 	}
 	for pe.outstanding() > 0 {
+		if pe.dead {
+			return deadErr(pe)
+		}
 		u.pollOrTimeout(p, pe)
 	}
 	return nil
@@ -255,7 +258,7 @@ func (u *UAM) FlushTimeout(p *sim.Proc, dst int, d time.Duration) bool {
 	}
 	deadline := p.Now() + d
 	for pe.outstanding() > 0 {
-		if p.Now() >= deadline {
+		if pe.dead || p.Now() >= deadline {
 			return false
 		}
 		u.pollOrTimeout(p, pe)
@@ -273,17 +276,19 @@ func (u *UAM) Outstanding(dst int) int {
 	return pe.outstanding()
 }
 
-// FlushAll is Flush for every peer, in node-id order.
+// FlushAll is Flush for every peer, in node-id order. Peers declared dead
+// are skipped — their unacknowledged messages can never complete; callers
+// that care about them use Flush and inspect ErrPeerDead per peer.
 func (u *UAM) FlushAll(p *sim.Proc) {
 	for _, pe := range u.peerList {
-		if pe.outstanding() > 0 {
+		if pe.outstanding() > 0 && !pe.dead {
 			u.sendAckPing(p, pe)
 		}
 	}
 	for {
 		pending := false
 		for _, pe := range u.peerList {
-			if pe.outstanding() > 0 {
+			if pe.outstanding() > 0 && !pe.dead {
 				pending = true
 				u.pollOrTimeout(p, pe)
 			}

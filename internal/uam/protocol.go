@@ -1,11 +1,15 @@
 package uam
 
 import (
+	"fmt"
 	"time"
 
 	"unet/internal/sim"
 	"unet/internal/unet"
 )
+
+// deadErr wraps ErrPeerDead with the peer's identity.
+func deadErr(pe *peer) error { return fmt.Errorf("%w: node %d", ErrPeerDead, pe.node) }
 
 // outstanding reports how many unacknowledged messages the stream to pe
 // holds.
@@ -26,7 +30,13 @@ func (u *UAM) sendReliable(p *sim.Proc, pe *peer, typ, handler uint8, arg uint32
 	// polling in the application.
 	u.drainIncoming(p)
 	for pe.outstanding() >= u.cfg.Window {
+		if pe.dead {
+			return deadErr(pe)
+		}
 		u.pollOrTimeout(p, pe)
+	}
+	if pe.dead {
+		return deadErr(pe)
 	}
 	charge(p, u.cfg.OpOverhead)
 	seq := pe.nextSeq
@@ -49,6 +59,7 @@ func (u *UAM) sendReliable(p *sim.Proc, pe *peer, typ, handler uint8, arg uint32
 		charge(p, u.cfg.BulkOverhead)
 	}
 	pe.needAck = false
+	pe.dupPending = false // the piggybacked ack just went out
 	pe.nextSeq++
 	if pe.deadline == 0 {
 		pe.deadline = p.Now() + u.cfg.RetransmitTimeout
@@ -90,6 +101,7 @@ func (u *UAM) sendControl(p *sim.Proc, pe *peer, typ uint8) {
 	pe.lastAckSent = pe.expected
 	pe.needAck = false
 	pe.forceAck = false
+	pe.dupPending = false
 	// Control messages are single-cell and unsequenced: losing one only
 	// delays the sender until the next solicitation or a retransmission.
 	// Stage the header in the next control-ring slot of the segment (a
@@ -187,12 +199,26 @@ func (u *UAM) checkTimers(p *sim.Proc) {
 }
 
 // retransmit implements go-back-N: every unacknowledged staged message is
-// resent in order (§5.1.1).
+// resent in order (§5.1.1). Consecutive retransmissions without ack
+// progress back off exponentially; when the retry budget is exhausted the
+// peer is declared dead rather than retransmitted forever — blocking
+// operations surface ErrPeerDead.
 func (u *UAM) retransmit(p *sim.Proc, pe *peer) {
 	if pe.outstanding() == 0 {
 		pe.deadline = 0
+		pe.retries = 0
 		return
 	}
+	if pe.dead {
+		pe.deadline = 0
+		return
+	}
+	if pe.retries >= u.cfg.MaxRetries {
+		pe.dead = true
+		pe.deadline = 0
+		return
+	}
+	pe.retries++
 	for s := pe.ackedTo; s != pe.nextSeq; s++ {
 		slot := pe.slots[int(s)%u.cfg.Window]
 		u.stats.Retransmits++
@@ -201,7 +227,22 @@ func (u *UAM) retransmit(p *sim.Proc, pe *peer) {
 			return
 		}
 	}
-	pe.deadline = p.Now() + u.cfg.RetransmitTimeout
+	pe.deadline = p.Now() + u.backoff(pe.retries)
+}
+
+// backoff returns the retransmit interval after the nth consecutive
+// retransmission: the base interval doubling per retry, capped at
+// RetransmitMax. Retry 1 uses the base interval, so a single recovered
+// loss behaves exactly like the fixed-interval protocol.
+func (u *UAM) backoff(retries int) time.Duration {
+	d := u.cfg.RetransmitTimeout
+	for i := 1; i < retries && d < u.cfg.RetransmitMax; i++ {
+		d *= 2
+	}
+	if d > u.cfg.RetransmitMax {
+		d = u.cfg.RetransmitMax
+	}
+	return d
 }
 
 // flushAcks sends explicit acks where piggybacking has fallen behind:
@@ -293,10 +334,18 @@ func (u *UAM) processMsg(p *sim.Proc, pe *peer, msg []byte) {
 	if h.seq != pe.expected {
 		// Out-of-order or duplicate under go-back-N: drop, but make sure
 		// the sender learns our cumulative position again — it evidently
-		// missed our earlier acknowledgments.
+		// missed our earlier acknowledgments. A whole window replay arrives
+		// as a burst of duplicates; forcing one explicit ack per burst (not
+		// per duplicate) is enough to restart the sender and keeps ack
+		// storms off the wire.
 		u.stats.Duplicates++
 		pe.needAck = true
-		pe.forceAck = true
+		if pe.dupPending {
+			u.stats.AcksSuppressed++
+		} else {
+			pe.dupPending = true
+			pe.forceAck = true
+		}
 		return
 	}
 	pe.expected++
@@ -316,6 +365,7 @@ func (u *UAM) applyAck(pe *peer, ack uint8) {
 		return
 	}
 	pe.ackedTo = ack
+	pe.retries = 0 // ack progress refills the retry budget
 	if pe.outstanding() == 0 {
 		pe.deadline = 0
 	} else {

@@ -39,6 +39,10 @@ var (
 	ErrBadHandler = errors.New("uam: handler index not registered")
 	ErrReplyCtx   = errors.New("uam: Reply outside a request handler")
 	ErrMemRange   = errors.New("uam: offset outside exposed memory")
+	// ErrPeerDead reports that MaxRetries consecutive retransmissions went
+	// unacknowledged: the peer is declared dead and blocking operations
+	// toward it fail instead of retransmitting forever.
+	ErrPeerDead = errors.New("uam: peer unresponsive, retry limit exceeded")
 )
 
 // Config tunes the UAM instance.
@@ -55,8 +59,17 @@ type Config struct {
 	MaxPeers int
 	// MemSize is the size of the memory region exposed to bulk store/get.
 	MemSize int
-	// RetransmitTimeout is the go-back-N timer. Default 2 ms.
+	// RetransmitTimeout is the initial go-back-N timer. Default 2 ms.
+	// Consecutive unacknowledged retransmissions back off exponentially
+	// from here (doubling per retry) up to RetransmitMax.
 	RetransmitTimeout time.Duration
+	// RetransmitMax caps the backed-off retransmit interval. Default 32 ms
+	// (never below RetransmitTimeout).
+	RetransmitMax time.Duration
+	// MaxRetries is the number of consecutive unacknowledged
+	// retransmissions after which the peer is declared dead and blocking
+	// operations return ErrPeerDead. Default 10.
+	MaxRetries int
 	// OpOverhead is the per-operation bookkeeping cost of the UAM library
 	// (header build/parse, window accounting). Calibration: UAM adds
 	// ~6 µs to the raw U-Net single-cell round trip (§5.2: 71 µs vs 65).
@@ -76,6 +89,8 @@ func DefaultConfig() Config {
 		MaxPeers:          8,
 		MemSize:           1 << 20,
 		RetransmitTimeout: 2 * time.Millisecond,
+		RetransmitMax:     32 * time.Millisecond,
+		MaxRetries:        10,
 		OpOverhead:        400 * time.Nanosecond,
 		BulkOverhead:      3500 * time.Nanosecond,
 	}
@@ -94,6 +109,10 @@ type Stats struct {
 	StoreSegs, GetSegs   uint64
 	Retransmits          uint64
 	Duplicates           uint64
+	// AcksSuppressed counts duplicates that did not force a fresh explicit
+	// ack because one was already pending — a whole go-back-N window replay
+	// solicits one ack, not one per duplicate.
+	AcksSuppressed uint64
 }
 
 type txSlot struct {
@@ -110,12 +129,15 @@ type peer struct {
 	ackedTo  uint8
 	slots    []txSlot
 	deadline time.Duration // retransmit deadline; 0 = nothing outstanding
+	retries  int           // consecutive retransmissions without ack progress
+	dead     bool          // retry budget exhausted; sticky
 
 	// Receive side.
 	expected    uint8
 	lastAckSent uint8 // cumulative ack last carried to this peer
 	needAck     bool
 	forceAck    bool // duplicate seen or ack explicitly solicited by ping
+	dupPending  bool // a duplicate already forced an ack that has not gone out
 }
 
 // UAM is one node's Active Messages instance, bound to one U-Net endpoint.
@@ -179,6 +201,15 @@ func New(owner *unet.Process, node int, cfg Config) (*UAM, error) {
 	}
 	if cfg.RetransmitTimeout <= 0 {
 		cfg.RetransmitTimeout = def.RetransmitTimeout
+	}
+	if cfg.RetransmitMax <= 0 {
+		cfg.RetransmitMax = def.RetransmitMax
+	}
+	if cfg.RetransmitMax < cfg.RetransmitTimeout {
+		cfg.RetransmitMax = cfg.RetransmitTimeout
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = def.MaxRetries
 	}
 	if cfg.OpOverhead <= 0 {
 		cfg.OpOverhead = def.OpOverhead
@@ -253,6 +284,9 @@ func (u *UAM) Mem() []byte { return u.mem }
 
 // Stats returns a snapshot of protocol counters.
 func (u *UAM) Stats() Stats { return u.stats }
+
+// Config returns the resolved configuration (defaults filled in).
+func (u *UAM) Config() Config { return u.cfg }
 
 // Peers returns the connected node ids in ascending order.
 func (u *UAM) Peers() []int {

@@ -7,16 +7,20 @@
 #    golden check (byte-identical output at every shard count).
 # 3. Steady-state allocation gate: the data path must move messages with
 #    zero allocations per round trip (DESIGN.md §10).
-# 4. Microbenchmarks (engine, fabric), the zero-alloc echo/UAM round
-#    trips, the end-to-end Figure 4 sweep, and the serial-vs-sharded
-#    8-host cluster storm, all with -benchmem, saved as
-#    benchstat-compatible text and summarized into the output JSON.
+# 4. Fault-injection gates: the seeded loss sweep and chaos soak are
+#    byte-identical at every shard count, and the reliable layers deliver
+#    100% under ≤1% cell loss with bounded retransmits (DESIGN.md §11).
+# 5. Microbenchmarks (engine, fabric), the zero-alloc echo/UAM round
+#    trips, the end-to-end Figure 4 sweep, the goodput-under-loss
+#    recovery points, and the serial-vs-sharded 8-host cluster storm, all
+#    with -benchmem, saved as benchstat-compatible text and summarized
+#    into the output JSON.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR4.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR5.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 txt="${out%.json}.txt"
 
 echo "== tier-1: go build ./... && go test ./..." >&2
@@ -36,6 +40,10 @@ go test -run 'TestSharded' ./internal/testbed/
 echo "== steady-state allocation gate (0 allocs/round on the data path)" >&2
 go test -run 'TestSteadyStateAllocs' ./internal/experiments/
 
+echo "== fault-injection gates (seeded determinism + loss recovery)" >&2
+GOMAXPROCS=4 go test -run 'TestGoldenFaultDeterminism|TestLossRecoveryDelivery' ./internal/experiments/
+go test -run 'TestSeededLossNthCellGolden|TestDeadPeerFailsInBoundedTime' ./internal/uam/ ./internal/ip/tcp/
+
 echo "== benchmarks (benchstat-compatible: $txt)" >&2
 go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkLink_|BenchmarkSwitch_' \
 	-benchmem -benchtime 200000x -count 3 \
@@ -44,6 +52,7 @@ go test -run '^$' -bench 'BenchmarkEcho|BenchmarkUAMRoundTrip' \
 	-benchmem -benchtime 2000x -count 3 \
 	./internal/experiments/ | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
+go test -run '^$' -bench 'BenchmarkFigLoss_Recovery' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkCluster_Sharded' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 
 echo "== summarizing into $out" >&2

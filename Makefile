@@ -4,14 +4,14 @@
 # mirrors the GitHub Actions workflow.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 FUZZTIME ?= 10s
 
 # Pinned external linter versions (kept in sync with .github/workflows/ci.yml).
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all build check test race shardcheck alloccheck chaos lint lint-extra fuzz bench ci clean
+.PHONY: all build check test race raceshards shardcheck alloccheck chaos lint lint-extra fuzz bench ci clean
 
 all: build
 
@@ -28,6 +28,13 @@ race:
 	$(GO) test -race ./internal/fabric/...
 	$(GO) test -race ./internal/nic/...
 	GOMAXPROCS=4 $(GO) test -race -run 'Golden' ./internal/experiments/
+
+# raceshards is the dedicated shard-sweep race job: the whole window
+# protocol (per-pair lookahead, fused barriers, parking, fast-forward) under
+# the race detector with real parallelism pinned at GOMAXPROCS=4.
+raceshards:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestShard' ./internal/sim/ ./internal/fabric/ ./internal/testbed/
+	GOMAXPROCS=4 $(GO) test -race -run 'TestGoldenShardSweep|TestGoldenFaultDeterminism' ./internal/experiments/
 
 shardcheck:
 	GOMAXPROCS=4 $(GO) test -run 'TestGoldenShardSweep' ./internal/experiments/
@@ -78,6 +85,7 @@ ci: build
 	$(MAKE) lint
 	$(GO) test ./...
 	$(MAKE) race
+	$(MAKE) raceshards
 	$(MAKE) shardcheck
 	$(MAKE) alloccheck
 	$(MAKE) chaos
@@ -86,4 +94,4 @@ bench:
 	sh scripts/bench.sh $(BENCH_OUT)
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt
+	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt BENCH_PR6.json BENCH_PR6.txt

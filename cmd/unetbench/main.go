@@ -11,15 +11,17 @@
 //	unetbench -shards -1           # shard each simulation across all cores
 //	unetbench -experiment figloss  # goodput/RTT-vs-loss sweep
 //	unetbench -experiment chaos -loss 0.01 -faultseed 7
+//	unetbench -experiment storm -shards 4 -simprof   # window profiler dump
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// figloss chaos ablations
+// figloss chaos ablations storm
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,6 +36,8 @@ func main() {
 		count    = flag.Int("count", 200, "messages per bandwidth point")
 		parallel = flag.Int("parallel", 0, "sweep-point workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		shards   = flag.Int("shards", 0, "shard engines per simulation (0 = serial, <0 = GOMAXPROCS; output is identical either way)")
+		hosts    = flag.Int("hosts", 8, "storm: cluster size")
+		simprof  = flag.Bool("simprof", false, "storm: dump the per-shard window-protocol profile (wall-clock diagnostics)")
 
 		faultSeed = flag.Int64("faultseed", experiments.FaultSeed, "seed for the deterministic fault injectors (figloss, chaos)")
 		loss      = flag.Float64("loss", -1, "chaos: override the i.i.d. cell-loss rate (per-cell probability)")
@@ -76,8 +80,32 @@ func main() {
 			}
 			fmt.Println(experiments.Chaos(cfg))
 		},
+		"storm": func() {
+			n := *shards
+			if n < 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			t0 := time.Now()
+			report, prof := experiments.Storm(*hosts, n, *count)
+			wall := time.Since(t0)
+			fmt.Print(report)
+			if *simprof {
+				if len(prof.Shards) == 0 {
+					fmt.Println("simprof: serial run — no shard group; rerun with -shards ≥ 2")
+					return
+				}
+				fmt.Printf("simprof (GOMAXPROCS=%d NumCPU=%d, wall %v):\n%s",
+					runtime.GOMAXPROCS(0), runtime.NumCPU(), wall.Round(time.Microsecond), prof)
+				// Barrier-wait share: fraction of the shards' aggregate
+				// wall-clock budget spent synchronizing rather than simulating.
+				total := prof.Total()
+				share := 100 * float64(total.BarrierWait) / (float64(wall) * float64(len(prof.Shards)))
+				fmt.Printf("barrier-wait share: %.1f%% of %d shards × %v wall\n",
+					share, len(prof.Shards), wall.Round(time.Microsecond))
+			}
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "figloss", "chaos"}
+	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "figloss", "chaos", "storm"}
 
 	ids := order
 	if *expFlag != "all" {

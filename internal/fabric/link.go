@@ -149,6 +149,10 @@ type Link struct {
 	// the train grouping. A local link has peer == nil.
 	peer   *Link
 	outbox []inflight
+	// mbox is the group mailbox handle for a tx half: marked pending on the
+	// first outbox append of a window so clean rounds can skip the drain
+	// phase (and its second barrier) entirely.
+	mbox *sim.Mailbox
 }
 
 // NewLink creates a link delivering into sink.
@@ -170,10 +174,11 @@ func NewLink(e *sim.Engine, name string, p LinkParams, sink CellSink) *Link {
 // replays them through the standard in-flight ring so delivery times and
 // train grouping are the ones a local link would have produced.
 //
-// The link's latency (CellTime + Propagation) is registered as group
-// lookahead: a cell sent at time t arrives no earlier than t + CellTime +
-// Propagation, which is exactly the bound the conservative window protocol
-// needs.
+// The link's latency (CellTime + Propagation) is registered as the
+// src→dst pair lookahead: a cell sent at time t arrives no earlier than
+// t + CellTime + Propagation, which is exactly the bound the conservative
+// window protocol needs — and registering it per pair lets shards joined
+// only by slow paths keep windows wider than the global minimum.
 func NewCrossLink(src, dst *sim.Engine, name string, p LinkParams, sink CellSink) *Link {
 	if p.CellTime <= 0 {
 		p.CellTime = DefaultCellTime
@@ -188,8 +193,8 @@ func NewCrossLink(src, dst *sim.Engine, name string, p LinkParams, sink CellSink
 	peer := &Link{e: dst, name: name, p: p, sink: sink}
 	peer.tsink, _ = sink.(TrainSink)
 	l := &Link{e: src, name: name, p: p, peer: peer}
-	g.AddExchange(dst, crossExchange{l})
-	g.ObserveLookahead(p.CellTime + p.Propagation)
+	l.mbox = g.AddExchangeFrom(src, dst, crossExchange{l})
+	g.ObserveLookaheadBetween(src, dst, p.CellTime+p.Propagation)
 	return l
 }
 
@@ -302,6 +307,9 @@ func (l *Link) SendAt(c atm.Cell, start time.Duration) time.Duration {
 // event) otherwise.
 func (l *Link) enqueue(c atm.Cell, arrive time.Duration) {
 	if l.peer != nil {
+		if len(l.outbox) == 0 {
+			l.mbox.MarkPending()
+		}
 		l.outbox = append(l.outbox, inflight{c: c, arrive: arrive})
 		return
 	}

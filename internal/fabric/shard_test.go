@@ -132,6 +132,53 @@ func TestCrossLinkLookaheadRegistered(t *testing.T) {
 	}
 }
 
+func TestCrossLinkPerPairLookahead(t *testing.T) {
+	// Two host shards hang off the root: s1 over fast 4µs links (which stay
+	// silent), s2 over slow 100µs links carrying an echo workload. The old
+	// protocol clamped every window to the global minimum (4µs) and needed
+	// ~25 rounds per slow flight; per-pair registration must bound root and
+	// s2 only by the 100µs paths that reach them.
+	fast := LinkParams{CellTime: 3 * us, Propagation: 1 * us}
+	slow := LinkParams{CellTime: 3 * us, Propagation: 97 * us}
+	root := sim.New(1)
+	s1 := root.NewShard(2)
+	s2 := root.NewShard(3)
+	g := root.Group()
+
+	NewCrossLink(root, s1, "f-down", fast, &collector{e: s1})
+	NewCrossLink(s1, root, "f-up", fast, &collector{e: root})
+	var echoes []string
+	up2 := NewCrossLink(s2, root, "s-up", slow, &echoSink{e: root, log: &echoes, name: "rt"})
+	down2 := NewCrossLink(root, s2, "s-down", slow, nil)
+	down2.peer.sink = &echoSink{e: s2, up: up2, reply: 7, log: &echoes, name: "s2"}
+
+	if g.Lookahead() != 4*us {
+		t.Fatalf("Lookahead = %v, want the global min 4µs", g.Lookahead())
+	}
+	const trips = 10
+	for i := 0; i < trips; i++ {
+		at := time.Duration(i) * 500 * time.Microsecond
+		root.At(at, func() {
+			var c atm.Cell
+			c.VCI = 5
+			down2.Send(c)
+		})
+	}
+	root.Run()
+
+	if len(echoes) != 2*trips {
+		t.Fatalf("delivered %d cells, want %d", len(echoes), 2*trips)
+	}
+	prof := g.Profile()
+	perShard := prof.Total().Windows / uint64(len(prof.Shards))
+	if perShard > 400 {
+		t.Fatalf("ran %d rounds per shard; per-pair lookahead should need far fewer than the ~1250 a 4µs global window implies", perShard)
+	}
+	if prof.Total().FastForwards == 0 {
+		t.Fatal("no window ever fast-forwarded past the legacy global-min horizon")
+	}
+}
+
 func TestCrossLinkRejectsBadEndpoints(t *testing.T) {
 	root := sim.New(1)
 	dst := root.NewShard(2)

@@ -1,0 +1,29 @@
+package fabric
+
+import "time"
+
+type okLink struct {
+	cellTime time.Duration
+	nextFree time.Duration
+	prof     *shardProfile
+	outbox   []Cell
+}
+
+// Send serializes the cell against the transmitter — charging the
+// calibrated cell time — and only then bumps the profiler counter.
+func (l *okLink) Send(c Cell) time.Duration {
+	depart := l.nextFree + l.cellTime
+	l.nextFree = depart
+	l.outbox = append(l.outbox, c)
+	l.prof.events++
+	return depart
+}
+
+// Drain replays already-paid-for cells into the destination shard: a
+// deliberately free intake, annotated with where the cost was charged.
+//
+//unetlint:allow costcharge window drain replays cells whose wire time was charged at the transmitter
+func (l *okLink) Drain(cells []Cell) {
+	l.outbox = append(l.outbox, cells...)
+	l.prof.drains++
+}

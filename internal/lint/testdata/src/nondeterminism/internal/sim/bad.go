@@ -1,0 +1,22 @@
+// Package sim mirrors the shard runtime's window profiler. The shard
+// runtime is exempt from the rawgo analyzer (it owns OS-level
+// concurrency) but NOT from nondeterminism: wall-clock reads are banned
+// even here unless annotated, because profiler counters must never feed
+// virtual time.
+package sim
+
+import "time"
+
+type profile struct {
+	barrierWait time.Duration
+	windows     uint64
+}
+
+// unannotatedWait times a barrier crossing without declaring that the
+// reading is diagnostic-only: both reads must be flagged.
+func (p *profile) unannotatedWait(cross func()) {
+	t0 := time.Now() // want `time\.Now reads the wall clock`
+	cross()
+	p.barrierWait += time.Since(t0) // want `time\.Since reads the wall clock`
+	p.windows++
+}

@@ -1,0 +1,20 @@
+package sim
+
+import "time"
+
+type group struct {
+	prof profile
+}
+
+// barrierWait attributes a crossing's wall-clock wait to the shard's
+// profile. The function-doc directive covers the whole body: the reads
+// exist only for the profiler and nothing derived from them may feed
+// virtual time.
+//
+//unetlint:allow nondeterminism wall-clock barrier-wait profiling only; never feeds virtual time
+func (g *group) barrierWait(cross func()) {
+	t0 := time.Now()
+	cross()
+	g.prof.barrierWait += time.Since(t0)
+	g.prof.windows++
+}

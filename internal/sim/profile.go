@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ShardProfile accumulates one shard's window-protocol counters across
+// Run/RunUntil calls. All counters are maintained by the shard's own
+// worker goroutine, so the hot path pays plain increments — no atomics,
+// no allocation. The wall-clock barrier wait is diagnostic only and never
+// feeds virtual time.
+type ShardProfile struct {
+	Shard         int
+	Windows       uint64        // windows executed (rounds that ran events)
+	Events        uint64        // events fired inside windows
+	EmptyWindows  uint64        // windows that fired nothing
+	FastForwards  uint64        // windows whose horizon beat the legacy global m+L
+	FusedBarriers uint64        // rounds that crossed a single barrier (no pending traffic)
+	Drains        uint64        // mailbox drains performed
+	BarrierWait   time.Duration // wall-clock spent inside barrier crossings
+}
+
+// EventsPerWindow reports the mean number of events fired per executed
+// window.
+func (p ShardProfile) EventsPerWindow() float64 {
+	if p.Windows == 0 {
+		return 0
+	}
+	return float64(p.Events) / float64(p.Windows)
+}
+
+// GroupProfile is a snapshot of every shard's window-protocol counters.
+type GroupProfile struct {
+	Shards []ShardProfile
+}
+
+// Profile snapshots the group's per-shard window counters. Call it after
+// Run/RunUntil returns (it reads the shard workers' plain counters, which
+// are quiescent between runs). Counters accumulate across runs; see
+// ResetProfile.
+func (g *Group) Profile() GroupProfile {
+	out := GroupProfile{Shards: make([]ShardProfile, len(g.prof))}
+	copy(out.Shards, g.prof)
+	return out
+}
+
+// ResetProfile zeroes the accumulated window counters.
+func (g *Group) ResetProfile() {
+	for i := range g.prof {
+		g.prof[i] = ShardProfile{Shard: i}
+	}
+}
+
+// Total folds every shard's counters into one (Shard is -1 in the result).
+func (gp GroupProfile) Total() ShardProfile {
+	t := ShardProfile{Shard: -1}
+	for _, p := range gp.Shards {
+		t.Windows += p.Windows
+		t.Events += p.Events
+		t.EmptyWindows += p.EmptyWindows
+		t.FastForwards += p.FastForwards
+		t.FusedBarriers += p.FusedBarriers
+		t.Drains += p.Drains
+		t.BarrierWait += p.BarrierWait
+	}
+	return t
+}
+
+// String renders the profile as an aligned table — the `unetbench
+// -simprof` dump.
+func (gp GroupProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %10s %12s %8s %6s %8s %8s %8s %12s %10s\n",
+		"shard", "windows", "events", "ev/win", "empty", "fastfwd", "fused", "drains", "barrier-wait", "wait/win")
+	row := func(label string, p ShardProfile) {
+		perWin := time.Duration(0)
+		if p.Windows > 0 {
+			perWin = p.BarrierWait / time.Duration(p.Windows)
+		}
+		fmt.Fprintf(&b, "%-5s %10d %12d %8.1f %6d %8d %8d %8d %12s %10s\n",
+			label, p.Windows, p.Events, p.EventsPerWindow(), p.EmptyWindows,
+			p.FastForwards, p.FusedBarriers, p.Drains, p.BarrierWait.Round(time.Microsecond), perWin)
+	}
+	for _, p := range gp.Shards {
+		row(fmt.Sprintf("%d", p.Shard), p)
+	}
+	row("total", gp.Total())
+	return b.String()
+}

@@ -18,19 +18,38 @@ import (
 // paper's cluster architecture rests on: hosts interact only through links
 // with a fixed minimum latency (cell serialization plus fiber propagation),
 // so an event executing at virtual time t in one shard cannot affect
-// another shard before t+L, where L is the minimum cross-shard link
-// latency — the group's lookahead. Each round, every shard processes all
-// events strictly before H = m+L (m being the globally earliest pending
-// event), then a barrier is crossed and cross-shard traffic that
-// accumulated in per-pair mailboxes is drained into the destination heaps.
-// Within a window shards share no mutable state, so they run without locks;
-// determinism is preserved because drains happen in a fixed registration
-// order and destination engines assign their usual (timestamp, sequence)
-// tie-break to injected events.
+// another shard before t+L, where L is the latency of the cheapest path
+// between them. Lookahead is tracked per shard pair: every cross-shard
+// link registers its latency as a directed edge, and at run time the group
+// closes the edge set into an all-pairs minimum-latency matrix. Each
+// round, every shard publishes its earliest pending event time T_i and
+// processes all events strictly before its own horizon
 //
-// The protocol is deadlock-free by construction (no shard ever waits for a
-// message; windows always advance past the earliest event) and needs no
+//	H_i = min over j≠i of (T_j + L*[j][i])
+//
+// where L*[j][i] is the matrix entry — the cheapest multi-hop latency from
+// shard j to shard i. A shard hemmed in only by distant neighbors gets a
+// wide window; a shard nobody can reach free-runs to completion. When
+// every T_j lies far in the future the horizons jump there with them, so
+// the group fast-forwards across idle stretches instead of grinding
+// through empty fixed-width windows.
+//
+// Within a window shards share no mutable state, so they run without
+// locks; determinism is preserved because cross-shard traffic is drained
+// into the destination heaps in a fixed registration order at barriers,
+// and destination engines assign their usual (timestamp, sequence)
+// tie-break to injected events. The protocol is deadlock-free by
+// construction (no shard ever waits for a message; the shard holding the
+// globally earliest event always has a horizon beyond it) and needs no
 // null messages.
+//
+// Window crossings are kept cheap: a round costs a single barrier when no
+// exchange has traffic pending anywhere (the common case in sparse
+// phases), and two when a drain phase is needed. The global
+// minimum-next-event reduction is folded once by the last shard to arrive
+// at a barrier instead of being rescanned by every shard, and the barrier
+// itself spins only within a budget before parking on a condition
+// variable, so oversubscribed runs stop burning cores.
 
 // Exchange moves messages that crossed a shard boundary into their
 // destination engine. Drain is called by the destination shard's worker
@@ -43,19 +62,60 @@ type Exchange interface {
 	Drain()
 }
 
+// Mailbox is the producer-side handle of a registered exchange. The
+// producing shard must call MarkPending after appending the first message
+// of a window; the destination only drains exchanges whose mailbox is
+// marked, and a round in which no mailbox anywhere is marked crosses a
+// single fused barrier instead of two.
+type Mailbox struct {
+	ex    Exchange
+	g     *Group
+	src   int // producing shard, -1 when unknown (pairless registration)
+	dirty atomic.Bool
+}
+
+// MarkPending flags the exchange as holding undrained traffic. It must be
+// called by the producing shard (each exchange has exactly one producer)
+// between appending a message and reaching the next window barrier; it is
+// idempotent and costs one atomic load once marked.
+func (m *Mailbox) MarkPending() {
+	if !m.dirty.Load() {
+		m.dirty.Store(true)
+		m.g.dirtyCount.Add(1)
+	}
+}
+
+// pairKey indexes the per-pair lookahead observations.
+type pairKey struct{ src, dst int }
+
 // Group coordinates the shards of one simulation. Create it implicitly via
 // Engine.NewShard on the root engine; drive it by calling Run/RunUntil on
 // the root.
 type Group struct {
 	root      *Engine
 	shards    []*Engine
-	lookahead time.Duration
-	exchanges [][]Exchange // per shard id, drained in registration order
+	lookahead time.Duration                // global floor from ObserveLookahead
+	pairLA    map[pairKey]time.Duration    // direct per-pair minima
+	minLA     time.Duration                // min over every observed bound (diagnostic + fast-forward baseline)
+	exchanges [][]*Mailbox                 // per destination shard id, drained in registration order
 
-	nextAt  []atomic.Int64
-	barrier *spinBarrier
-	aborted atomic.Bool
-	failure atomic.Value // string
+	// Per-run state. la is the closed all-pairs latency matrix (laInf for
+	// unreachable). roundDirty/roundMin/horizons are written only by the
+	// barrier leader — the last shard to arrive, which runs while every
+	// other shard is stopped inside the barrier — and read by every shard
+	// after the release, so they need no atomics of their own.
+	la         [][]time.Duration
+	selfLA     []time.Duration // cheapest relay cycle through each shard
+	nextAt     []atomic.Int64
+	tAt        []int64 // leader's scratch snapshot of nextAt
+	horizons   []int64
+	dirtyCount atomic.Int32
+	roundDirty bool
+	roundMin   int64
+	barrier    *spinBarrier
+	prof       []ShardProfile
+	aborted    atomic.Bool
+	failure    atomic.Value // string
 }
 
 // NewShard creates a new shard engine attached to e's group, creating the
@@ -65,7 +125,7 @@ type Group struct {
 // created before the first Run.
 func (e *Engine) NewShard(seed int64) *Engine {
 	if e.group == nil {
-		e.group = &Group{root: e, shards: []*Engine{e}, exchanges: make([][]Exchange, 1)}
+		e.group = &Group{root: e, shards: []*Engine{e}, exchanges: make([][]*Mailbox, 1)}
 		e.shardID = 0
 	}
 	g := e.group
@@ -94,21 +154,42 @@ func (g *Group) Shards() int { return len(g.shards) }
 // Root returns the group's root engine.
 func (g *Group) Root() *Engine { return g.root }
 
-// AddExchange registers ex to be drained into dst at every window barrier.
-// dst must be an engine of this group. Registration order fixes the drain
-// order, and with it the deterministic tie-break between same-timestamp
-// injections from different sources.
-func (g *Group) AddExchange(dst *Engine, ex Exchange) {
+// AddExchange registers ex to be drained into dst at every window barrier,
+// with an unknown producer: the group must carry a global lookahead
+// (ObserveLookahead), which is applied between every shard pair. dst must
+// be an engine of this group. Registration order fixes the drain order,
+// and with it the deterministic tie-break between same-timestamp
+// injections from different sources. The returned Mailbox must be marked
+// by the producer whenever traffic is appended.
+func (g *Group) AddExchange(dst *Engine, ex Exchange) *Mailbox {
+	return g.addExchange(-1, dst, ex)
+}
+
+// AddExchangeFrom registers ex like AddExchange, but names the producing
+// shard so the window protocol can bound dst's horizon with the
+// src→dst pair lookahead (ObserveLookaheadBetween) instead of the global
+// minimum.
+func (g *Group) AddExchangeFrom(src, dst *Engine, ex Exchange) *Mailbox {
+	if src.group != g {
+		panic("sim: AddExchangeFrom source is not a member of this group")
+	}
+	return g.addExchange(src.shardID, dst, ex)
+}
+
+func (g *Group) addExchange(src int, dst *Engine, ex Exchange) *Mailbox {
 	if dst.group != g {
 		panic("sim: AddExchange destination is not a member of this group")
 	}
-	g.exchanges[dst.shardID] = append(g.exchanges[dst.shardID], ex)
+	mb := &Mailbox{ex: ex, g: g, src: src}
+	g.exchanges[dst.shardID] = append(g.exchanges[dst.shardID], mb)
+	return mb
 }
 
-// ObserveLookahead lower-bounds the group window width with the latency of
-// one cross-shard path: the group lookahead becomes the minimum of all
-// observed values. Every cross-shard message sent at time t must be
-// scheduled at t+d or later, for the d passed here by its path.
+// ObserveLookahead lower-bounds every cross-shard path with d: any message
+// from any shard to any other must be scheduled at least d after the event
+// that sent it. Pairless exchanges (AddExchange) rely on it; pairwise
+// observations can only tighten individual entries below it, never widen
+// them past a tighter global floor.
 func (g *Group) ObserveLookahead(d time.Duration) {
 	if d <= 0 {
 		panic("sim: cross-shard lookahead must be positive")
@@ -116,28 +197,166 @@ func (g *Group) ObserveLookahead(d time.Duration) {
 	if g.lookahead == 0 || d < g.lookahead {
 		g.lookahead = d
 	}
+	if g.minLA == 0 || d < g.minLA {
+		g.minLA = d
+	}
 }
 
-// Lookahead returns the group's conservative window width.
-func (g *Group) Lookahead() time.Duration { return g.lookahead }
+// ObserveLookaheadBetween lower-bounds the direct src→dst path with d:
+// every message sent from src to dst at time t must be scheduled at t+d or
+// later. Unlike ObserveLookahead it constrains only that pair — shards
+// linked by slow paths keep wide windows even when some other pair is
+// tightly coupled. Multi-hop influence is handled at run time by closing
+// the observed edges into an all-pairs minimum-latency matrix.
+func (g *Group) ObserveLookaheadBetween(src, dst *Engine, d time.Duration) {
+	if d <= 0 {
+		panic("sim: cross-shard lookahead must be positive")
+	}
+	if src.group != g || dst.group != g {
+		panic("sim: ObserveLookaheadBetween endpoints must be members of this group")
+	}
+	if src == dst {
+		panic("sim: ObserveLookaheadBetween endpoints are the same shard")
+	}
+	if g.pairLA == nil {
+		g.pairLA = make(map[pairKey]time.Duration)
+	}
+	k := pairKey{src.shardID, dst.shardID}
+	if cur, ok := g.pairLA[k]; !ok || d < cur {
+		g.pairLA[k] = d
+	}
+	if g.minLA == 0 || d < g.minLA {
+		g.minLA = d
+	}
+}
+
+// Lookahead returns the tightest lookahead observed on any path — the
+// width the old global-window protocol would have used. Individual shard
+// pairs may enjoy wider windows; see Profile for how often they do.
+func (g *Group) Lookahead() time.Duration { return g.minLA }
 
 const noEvent = int64(math.MaxInt64)
+
+// laInf marks an unreachable pair in the closed lookahead matrix.
+const laInf = time.Duration(math.MaxInt64)
+
+// buildMatrix validates the exchange/lookahead contract and closes the
+// influence graph into the all-pairs minimum-latency matrix: entry [j][i]
+// is the cheapest latency of any exchange path (multi-hop included) from
+// shard j to shard i, laInf when no path exists. Only registered
+// exchanges contribute edges — an observed latency with no channel cannot
+// carry influence — weighted by the pair observation when one exists, the
+// global floor otherwise. A pairless exchange (unknown producer) is an
+// edge from every other shard at the global floor. selfLA[i] is the
+// cheapest cycle through i: events in shard i's own heap can come back to
+// bite it via a relay (host → switch → same host), so its horizon must
+// respect T_i + selfLA[i] too.
+func (g *Group) buildMatrix() {
+	n := len(g.shards)
+	if g.la == nil || len(g.la) != n {
+		g.la = make([][]time.Duration, n)
+		for i := range g.la {
+			g.la[i] = make([]time.Duration, n)
+		}
+		g.selfLA = make([]time.Duration, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				g.la[i][j] = 0
+			} else {
+				g.la[i][j] = laInf
+			}
+		}
+	}
+	glob := g.lookahead
+	for dst, mbs := range g.exchanges {
+		for _, mb := range mbs {
+			if mb.src < 0 {
+				// Unknown producer: anyone may feed this exchange.
+				if glob <= 0 {
+					panic("sim: shard group has exchanges but no lookahead")
+				}
+				for j := 0; j < n; j++ {
+					if j != dst && glob < g.la[j][dst] {
+						g.la[j][dst] = glob
+					}
+				}
+				continue
+			}
+			w := laInf
+			if d, ok := g.pairLA[pairKey{mb.src, dst}]; ok {
+				w = d
+			} else if glob > 0 {
+				w = glob
+			}
+			if w == laInf {
+				// The window protocol has no safe width for this path.
+				panic("sim: shard group has exchanges but no lookahead")
+			}
+			if w < g.la[mb.src][dst] {
+				g.la[mb.src][dst] = w
+			}
+		}
+	}
+	// Floyd–Warshall over the (tiny) shard graph: multi-hop influence —
+	// host → switch shard → host — must bound horizons even when the relay
+	// shard's own heap is empty.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if g.la[i][k] == laInf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if g.la[k][j] == laInf {
+					continue
+				}
+				if via := g.la[i][k] + g.la[k][j]; via < g.la[i][j] {
+					g.la[i][j] = via
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		cyc := laInf
+		for k := 0; k < n; k++ {
+			if k == i || g.la[i][k] == laInf || g.la[k][i] == laInf {
+				continue
+			}
+			if c := g.la[i][k] + g.la[k][i]; c < cyc {
+				cyc = c
+			}
+		}
+		g.selfLA[i] = cyc
+	}
+}
 
 // run executes the sharded simulation until global quiescence, or until
 // every pending event lies beyond limit (limit < 0 means no limit). It is
 // entered through Run/RunUntil on the root engine. The calling goroutine
 // drives shard 0; every other shard gets a worker goroutine that lives for
 // the duration of the call (windows reuse them — the per-window cost is
-// two barrier crossings, not goroutine churn).
+// one fused barrier crossing when no cross-shard traffic is pending, two
+// when a drain phase is needed).
 func (g *Group) run(limit time.Duration) time.Duration {
-	if g.hasExchanges() && g.lookahead <= 0 {
-		panic("sim: shard group has exchanges but no lookahead")
-	}
 	n := len(g.shards)
+	if g.hasExchanges() {
+		g.buildMatrix()
+	} else {
+		g.la = nil
+	}
 	if g.nextAt == nil || len(g.nextAt) != n {
 		g.nextAt = make([]atomic.Int64, n)
+		g.tAt = make([]int64, n)
+		g.horizons = make([]int64, n)
 	}
-	g.barrier = &spinBarrier{n: int32(n), g: g}
+	if g.prof == nil || len(g.prof) != n {
+		g.prof = make([]ShardProfile, n)
+		for i := range g.prof {
+			g.prof[i].Shard = i
+		}
+	}
+	g.barrier = newSpinBarrier(int32(n), g)
 	var wg sync.WaitGroup
 	for id := 1; id < n; id++ {
 		wg.Add(1)
@@ -166,8 +385,8 @@ func (g *Group) run(limit time.Duration) time.Duration {
 }
 
 func (g *Group) hasExchanges() bool {
-	for _, exs := range g.exchanges {
-		if len(exs) > 0 {
+	for _, mbs := range g.exchanges {
+		if len(mbs) > 0 {
 			return true
 		}
 	}
@@ -185,53 +404,169 @@ func (g *Group) abortOnPanic() {
 		if g.aborted.CompareAndSwap(false, true) {
 			g.failure.Store(fmt.Sprint(r))
 		}
+		if g.barrier != nil {
+			g.barrier.kill()
+		}
 	}
 }
 
-// runShard is the per-shard worker loop: drain, publish, agree on the next
-// window, process it. Two barrier crossings per window.
+// runShard is the per-shard worker loop. Each round: publish the earliest
+// pending event, cross a barrier whose last arriver (the leader) snapshots
+// whether any mailbox holds traffic and — on clean rounds — folds the
+// global minimum and every shard's horizon in one pass; drain and
+// republish only when traffic is pending; then process events up to this
+// shard's own per-pair horizon.
+//
+// The leader folds roundMin and the horizons while every other shard is
+// stopped inside the barrier, and shards read only those leader-written
+// values afterwards. Reading nextAt directly after the release would race:
+// a fast shard can finish its window and republish for the next round
+// while a slow one is still computing this round's horizon.
 func (g *Group) runShard(id int, limit time.Duration) {
 	e := g.shards[id]
-	lookahead := g.lookahead
-	if lookahead <= 0 {
+	prof := &g.prof[id]
+	if g.la == nil {
 		// No cross-shard paths: the shards are independent simulations and
 		// can each run to completion in one pass.
+		n0 := e.nsteps
 		e.runWindow(stopFor(limit))
 		e.alignNow(limit)
+		prof.Windows++
+		prof.Events += e.nsteps - n0
 		return
 	}
+	stop := stopFor(limit)
+	inbox := g.exchanges[id]
+	legacy := int64(g.minLA)
 	for {
-		// Barrier phase A: producers are quiescent; move cross-shard traffic
-		// into this shard's heap, then publish the earliest pending event.
-		for _, ex := range g.exchanges[id] {
-			ex.Drain()
-		}
+		// Publish the earliest pending event (canceled entries included —
+		// harmlessly conservative) and cross the round barrier.
 		next := noEvent
 		if len(e.events) > 0 {
 			next = int64(e.events[0].at)
 		}
 		g.nextAt[id].Store(next)
-		g.barrier.wait()
+		g.barrierWait(prof, g.leaderVerdict)
 
-		// Phase B: every shard sees the same published times and reaches the
-		// same verdict, so termination needs no extra coordination.
-		m := noEvent
-		for i := range g.nextAt {
-			if v := g.nextAt[i].Load(); v < m {
-				m = v
+		if g.roundDirty {
+			// Drain phase: move cross-shard traffic into this heap, then
+			// republish so horizons account for the injected events. The
+			// second barrier's leader folds the post-drain times.
+			drained := false
+			for _, mb := range inbox {
+				if mb.dirty.Load() {
+					mb.ex.Drain()
+					mb.dirty.Store(false)
+					g.dirtyCount.Add(-1)
+					drained = true
+					prof.Drains++
+				}
 			}
+			if drained {
+				next = noEvent
+				if len(e.events) > 0 {
+					next = int64(e.events[0].at)
+				}
+				g.nextAt[id].Store(next)
+			}
+			g.barrierWait(prof, g.computeRound)
+		} else {
+			prof.FusedBarriers++
 		}
+
+		// Every shard reads the same leader-folded verdict, so termination
+		// needs no extra coordination.
+		m := g.roundMin
 		if m == noEvent || (limit >= 0 && m > int64(limit)) {
 			e.alignNow(limit)
 			return
 		}
-		h := time.Duration(m) + lookahead
-		if stop := stopFor(limit); h > stop {
-			h = stop
+
+		h := g.horizons[id]
+		horizon := stop
+		if hd := time.Duration(h); hd < stop {
+			horizon = hd
 		}
-		e.runWindow(h)
-		g.barrier.wait() // end of window: appends to mailboxes are complete
+		if h > satAdd(m, legacy) {
+			prof.FastForwards++
+		}
+		n0 := e.nsteps
+		e.runWindow(horizon)
+		prof.Windows++
+		if ev := e.nsteps - n0; ev > 0 {
+			prof.Events += ev
+		} else {
+			prof.EmptyWindows++
+		}
 	}
+}
+
+// leaderVerdict runs on the last shard to arrive at the round barrier:
+// with all producers quiescent it snapshots whether any mailbox holds
+// undrained traffic, and on clean rounds — where published times are
+// already complete — folds the round's minimum and horizons so the drain
+// phase and its barrier can be skipped entirely.
+func (g *Group) leaderVerdict() {
+	g.roundDirty = g.dirtyCount.Load() > 0
+	if !g.roundDirty {
+		g.computeRound()
+	}
+}
+
+// computeRound folds the published next-event times into the round's
+// global minimum and every shard's per-pair horizon — once, on the barrier
+// leader, instead of every shard rescanning the array after an extra
+// crossing. computeRound only ever runs when every mailbox is empty (the
+// round was clean, or the drain phase just completed), so all future
+// influence on shard i must originate from an event currently queued in
+// some shard j's heap: it cannot arrive before T_j + L*[j][i], and — via
+// the cheapest relay cycle — shard i's own events cannot come back before
+// T_i + selfLA[i]. Shards nobody can reach (or whose influencers are all
+// idle) get an unbounded horizon and fast-forward.
+func (g *Group) computeRound() {
+	n := len(g.shards)
+	m := noEvent
+	for i := 0; i < n; i++ {
+		g.tAt[i] = g.nextAt[i].Load()
+		if g.tAt[i] < m {
+			m = g.tAt[i]
+		}
+	}
+	g.roundMin = m
+	for i := 0; i < n; i++ {
+		h := int64(math.MaxInt64)
+		if g.selfLA[i] != laInf && g.tAt[i] != noEvent {
+			h = satAdd(g.tAt[i], int64(g.selfLA[i]))
+		}
+		for j := 0; j < n; j++ {
+			if j == i || g.la[j][i] == laInf || g.tAt[j] == noEvent {
+				continue
+			}
+			if hv := satAdd(g.tAt[j], int64(g.la[j][i])); hv < h {
+				h = hv
+			}
+		}
+		g.horizons[i] = h
+	}
+}
+
+// barrierWait crosses the group barrier, attributing the wall-clock wait
+// to the shard's profile. The wall-clock reads exist only for the
+// profiler; nothing derived from them may feed virtual time.
+//
+//unetlint:allow nondeterminism wall-clock barrier-wait profiling only; never feeds virtual time or event order
+func (g *Group) barrierWait(prof *ShardProfile, leader func()) {
+	t0 := time.Now()
+	g.barrier.wait(leader)
+	prof.BarrierWait += time.Since(t0)
+}
+
+// satAdd adds two non-negative int64 durations, saturating at MaxInt64.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
 }
 
 // stopFor converts RunUntil's inclusive limit into runWindow's exclusive
@@ -263,30 +598,89 @@ func (g *Group) shutdown() {
 
 // spinBarrier is a sense-reversing barrier tuned for short simulation
 // windows: arrivals spin briefly (cheap when all shards run on their own
-// core) and fall back to yielding, so oversubscribed machines — including
-// GOMAXPROCS=1 race runs — make progress. The atomics double as the
-// happens-before edges that hand mailbox ownership between producer and
-// consumer shards.
+// core), yield for a while, and finally park on a condition variable so
+// oversubscribed machines — including GOMAXPROCS=1 race runs — stop
+// burning cores on windows they cannot advance. The last arriver runs the
+// round's leader closure (dirty-verdict snapshot, min reduction) before
+// releasing, which is what lets a round cost a single crossing. The
+// atomics double as the happens-before edges that hand mailbox ownership
+// between producer and consumer shards.
 type spinBarrier struct {
 	n     int32
 	count atomic.Int32
 	gen   atomic.Uint32
 	g     *Group
+	spin  int // pure-spin iterations before yielding
+	mu    sync.Mutex
+	cond  *sync.Cond
 }
 
-func (b *spinBarrier) wait() {
+// yieldBudget is how many runtime.Gosched rounds a waiter tries after its
+// spin budget before parking. On an oversubscribed machine a yield usually
+// hands the core straight to the releasing shard, which is far cheaper
+// than a futex sleep/wake pair.
+const yieldBudget = 64
+
+func newSpinBarrier(n int32, g *Group) *spinBarrier {
+	b := &spinBarrier{n: n, g: g}
+	b.cond = sync.NewCond(&b.mu)
+	// With a core per shard, spinning through a whole window is cheaper
+	// than any sleep; without, fall through to yielding almost at once.
+	if runtime.GOMAXPROCS(0) >= int(n) {
+		b.spin = 1024
+	} else {
+		b.spin = 16
+	}
+	return b
+}
+
+// wait blocks until every shard has arrived. The last arriver runs leader
+// (if non-nil) before releasing the others — leader's writes are ordered
+// before the release, so every shard reads them coherently after wait
+// returns.
+func (b *spinBarrier) wait(leader func()) {
 	gen := b.gen.Load()
 	if b.count.Add(1) == b.n {
 		b.count.Store(0)
+		if leader != nil {
+			leader()
+		}
+		// The generation bump is published under the mutex so a waiter that
+		// checked it while holding the lock cannot miss the broadcast.
+		b.mu.Lock()
 		b.gen.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
 		return
 	}
-	for spins := 0; b.gen.Load() == gen; spins++ {
+	for spins := 0; ; spins++ {
+		if b.gen.Load() != gen {
+			return
+		}
 		if b.g != nil && b.g.aborted.Load() {
 			panic("sim: peer shard failed")
 		}
-		if spins > 128 {
-			runtime.Gosched()
+		if spins < b.spin {
+			continue
 		}
+		if spins < b.spin+yieldBudget {
+			runtime.Gosched()
+			continue
+		}
+		// Park until released (or the group aborts). Re-check the
+		// generation under the lock: the releaser bumps it there.
+		b.mu.Lock()
+		for b.gen.Load() == gen && !(b.g != nil && b.g.aborted.Load()) {
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
 	}
+}
+
+// kill wakes every parked waiter after an abort so they can observe the
+// failure and unwind instead of sleeping forever.
+func (b *spinBarrier) kill() {
+	b.mu.Lock()
+	b.mu.Unlock() //nolint:staticcheck // empty critical section orders the broadcast after any in-flight Wait
+	b.cond.Broadcast()
 }

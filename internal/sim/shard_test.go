@@ -15,15 +15,18 @@ type shardMsg struct {
 }
 
 // testMailbox is a minimal cross-shard channel for exercising the window
-// protocol directly: the producer shard appends during its window, the
-// destination drains at the barrier. Mirrors what fabric's cross links do.
+// protocol directly: the producer shard appends during its window (marking
+// the mailbox pending), the destination drains at the barrier. Mirrors
+// what fabric's cross links do.
 type testMailbox struct {
 	dst     *Engine
+	mb      *Mailbox
 	pending []shardMsg
 }
 
 func (m *testMailbox) send(at time.Duration, fn func()) {
 	m.pending = append(m.pending, shardMsg{at: at, fn: fn})
+	m.mb.MarkPending()
 }
 
 func (m *testMailbox) Drain() {
@@ -35,7 +38,15 @@ func (m *testMailbox) Drain() {
 
 func newTestMailbox(g *Group, dst *Engine) *testMailbox {
 	m := &testMailbox{dst: dst}
-	g.AddExchange(dst, m)
+	m.mb = g.AddExchange(dst, m)
+	return m
+}
+
+// newTestMailboxFrom registers the mailbox with a known producer so the
+// window protocol can apply the src→dst pair lookahead.
+func newTestMailboxFrom(g *Group, src, dst *Engine) *testMailbox {
+	m := &testMailbox{dst: dst}
+	m.mb = g.AddExchangeFrom(src, dst, m)
 	return m
 }
 
@@ -227,6 +238,22 @@ func TestShardLookaheadValidation(t *testing.T) {
 		}()
 		g.ObserveLookahead(0)
 	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ObserveLookaheadBetween(0) did not panic")
+			}
+		}()
+		g.ObserveLookaheadBetween(root, s1, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ObserveLookaheadBetween on the same shard did not panic")
+			}
+		}()
+		g.ObserveLookaheadBetween(s1, s1, time.Microsecond)
+	}()
 	// Exchanges registered but no lookahead observed: the window protocol
 	// has no safe width and must refuse to run.
 	newTestMailbox(g, s1)
@@ -236,4 +263,115 @@ func TestShardLookaheadValidation(t *testing.T) {
 		}
 	}()
 	root.Run()
+}
+
+func TestShardPairLookaheadValidation(t *testing.T) {
+	// A pair-registered exchange whose pair never observed a lookahead (and
+	// no global floor exists) must refuse to run too.
+	root := New(1)
+	s1 := root.NewShard(2)
+	s2 := root.NewShard(3)
+	g := root.Group()
+	g.ObserveLookaheadBetween(root, s1, time.Microsecond)
+	newTestMailboxFrom(g, s2, root) // s2→root has no observed bound
+	defer func() {
+		if recover() == nil {
+			t.Error("run with an unbounded pair exchange did not panic")
+		}
+	}()
+	root.Run()
+}
+
+func TestShardPerPairWiderThanGlobalMin(t *testing.T) {
+	// Shards r and s2 exchange pings over slow 100µs links, while a third
+	// shard s1 sits on fast 1µs links but stays silent. The old protocol
+	// would clamp every window to the global minimum (1µs) and grind ~100
+	// rounds per ping; per-pair lookahead must bound r and s2 only by the
+	// 100µs paths that can actually reach them.
+	const slow = 100 * time.Microsecond
+	const fast = time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	s2 := root.NewShard(3)
+	g := root.Group()
+	toS2 := newTestMailboxFrom(g, root, s2)
+	toRoot := newTestMailboxFrom(g, s2, root)
+	g.ObserveLookaheadBetween(root, s2, slow)
+	g.ObserveLookaheadBetween(s2, root, slow)
+	// The fast pair contributes only observations, no traffic.
+	g.ObserveLookaheadBetween(root, s1, fast)
+	g.ObserveLookaheadBetween(s1, root, fast)
+	if g.Lookahead() != fast {
+		t.Fatalf("Lookahead() = %v, want the global min %v", g.Lookahead(), fast)
+	}
+
+	var pongs []time.Duration
+	const pings = 10
+	for i := 1; i <= pings; i++ {
+		at := time.Duration(i) * 200 * time.Microsecond
+		fire := at
+		root.At(at, func() {
+			toS2.send(fire+slow, func() {
+				now := s2.Now()
+				toRoot.send(now+slow, func() { pongs = append(pongs, root.Now()) })
+			})
+		})
+	}
+	root.Run()
+
+	if len(pongs) != pings {
+		t.Fatalf("got %d pongs, want %d", len(pongs), pings)
+	}
+	for i, at := range pongs {
+		want := time.Duration(i+1)*200*time.Microsecond + 2*slow
+		if at != want {
+			t.Fatalf("pong %d at %v, want %v", i, at, want)
+		}
+	}
+
+	prof := g.Profile()
+	total := prof.Total()
+	// 10 pings over 2ms of virtual time: the old global-min protocol needed
+	// a window per 1µs of progress (thousands of rounds). With per-pair
+	// horizons each ping leg is a handful of rounds.
+	perShard := total.Windows / uint64(len(prof.Shards))
+	if perShard > 200 {
+		t.Fatalf("ran %d rounds per shard; per-pair lookahead should need far fewer than the ~2000 a 1µs global window implies", perShard)
+	}
+	if total.FastForwards == 0 {
+		t.Fatal("no window ever fast-forwarded past the legacy global-min horizon")
+	}
+	if total.Events == 0 || total.Drains == 0 {
+		t.Fatalf("profile did not record work: %+v", total)
+	}
+}
+
+func TestShardProfileFusedBarriers(t *testing.T) {
+	// Two shards with traffic only in the first half of the run: rounds
+	// after the traffic dies must fuse to a single barrier (no mailbox
+	// pending), and idle stretches must fast-forward.
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	to1 := newTestMailboxFrom(g, root, s1)
+	g.ObserveLookaheadBetween(root, s1, 10*time.Microsecond)
+	g.ObserveLookaheadBetween(s1, root, 10*time.Microsecond)
+	hits := 0
+	root.At(50*time.Microsecond, func() { to1.send(root.Now()+10*time.Microsecond, func() { hits++ }) })
+	// Purely local events afterwards — no cross traffic, so every remaining
+	// round crosses one fused barrier.
+	for i := 1; i <= 20; i++ {
+		s1.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	root.Run()
+	if hits != 1 {
+		t.Fatalf("cross message fired %d times, want 1", hits)
+	}
+	p := g.Profile().Total()
+	if p.FusedBarriers == 0 {
+		t.Fatalf("no round fused its barrier: %+v", p)
+	}
+	if p.Drains != 1 {
+		t.Fatalf("drains = %d, want exactly 1 (one pending mailbox, drained once)", p.Drains)
+	}
 }

@@ -14,13 +14,18 @@
 #    trips, the end-to-end Figure 4 sweep, the goodput-under-loss
 #    recovery points, and the serial-vs-sharded 8-host cluster storm, all
 #    with -benchmem, saved as benchstat-compatible text and summarized
-#    into the output JSON.
+#    into the output JSON. Every JSON entry records the GOMAXPROCS it ran
+#    at and the machine's CPU count; the sharded storm entries also carry
+#    their shard count and barrier-wait share, so a single-core artifact
+#    can never be misread as a multi-core regression. The storm runs with
+#    UNET_BENCH_OVERSUB=1 so oversubscribed shapes are still recorded
+#    (they skip by default under plain `go test -bench`).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR5.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR6.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 txt="${out%.json}.txt"
 
 echo "== tier-1: go build ./... && go test ./..." >&2
@@ -53,7 +58,7 @@ go test -run '^$' -bench 'BenchmarkEcho|BenchmarkUAMRoundTrip' \
 	./internal/experiments/ | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkFigLoss_Recovery' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
-go test -run '^$' -bench 'BenchmarkCluster_Sharded' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
+UNET_BENCH_OVERSUB=1 go test -run '^$' -bench 'BenchmarkCluster_Sharded' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 
 echo "== summarizing into $out" >&2
 go run ./scripts/benchjson "$txt" "$out"

@@ -1,7 +1,11 @@
 // Command benchjson condenses `go test -bench` output into a small JSON
-// summary (BENCH_PR1.json): one entry per benchmark with the mean of every
-// reported metric across -count repetitions. The raw benchstat-compatible
-// text sits next to it; the JSON is for dashboards and PR descriptions.
+// summary (BENCH_PR6.json): one entry per benchmark with the mean of every
+// reported metric across -count repetitions, plus the parallelism the
+// numbers were measured at — GOMAXPROCS (parsed from each benchmark's name
+// suffix) and the machine's CPU count — so a single-core artifact can
+// never be misread as a multi-core regression. The raw
+// benchstat-compatible text sits next to it; the JSON is for dashboards
+// and PR descriptions.
 package main
 
 import (
@@ -9,14 +13,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 type accum struct {
-	runs    int
-	metrics map[string][]float64
+	runs       int
+	gomaxprocs int
+	metrics    map[string][]float64
 }
 
 func main() {
@@ -39,10 +45,12 @@ func main() {
 		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue
 		}
-		name := strings.TrimSuffix(f[0], "-1") // strip GOMAXPROCS suffix
+		// The name's numeric suffix is the GOMAXPROCS the benchmark ran at
+		// (go test omits it at GOMAXPROCS=1).
+		name, procs := f[0], 1
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
+				name, procs = name[:i], n
 			}
 		}
 		a := bench[name]
@@ -52,6 +60,7 @@ func main() {
 			order = append(order, name)
 		}
 		a.runs++
+		a.gomaxprocs = procs
 		// f[1] is the iteration count; then (value, unit) pairs follow.
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
@@ -67,9 +76,11 @@ func main() {
 	}
 
 	type entry struct {
-		Name    string             `json:"name"`
-		Runs    int                `json:"runs"`
-		Metrics map[string]float64 `json:"metrics"`
+		Name       string             `json:"name"`
+		Runs       int                `json:"runs"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		NumCPU     int                `json:"numcpu"`
+		Metrics    map[string]float64 `json:"metrics"`
 	}
 	var out []entry
 	for _, name := range order {
@@ -82,7 +93,11 @@ func main() {
 			}
 			m[unit] = sum / float64(len(vs))
 		}
-		out = append(out, entry{Name: name, Runs: a.runs, Metrics: m})
+		out = append(out, entry{
+			Name: name, Runs: a.runs,
+			GOMAXPROCS: a.gomaxprocs, NumCPU: runtime.NumCPU(),
+			Metrics: m,
+		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 

@@ -4,14 +4,14 @@
 # mirrors the GitHub Actions workflow.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 FUZZTIME ?= 10s
 
 # Pinned external linter versions (kept in sync with .github/workflows/ci.yml).
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all build check test race raceshards shardcheck alloccheck chaos lint lint-extra fuzz bench ci clean
+.PHONY: all build check test race raceshards shardcheck alloccheck serve chaos lint lint-extra fuzz bench ci clean
 
 all: build
 
@@ -45,6 +45,14 @@ shardcheck:
 # round trip, measured with testing.AllocsPerRun.
 alloccheck:
 	$(GO) test -run 'TestSteadyStateAllocs' -v ./internal/experiments/
+
+# serve is the scheduler + serving-workload smoke: the heap/wheel
+# differential and shard-identity gates on the open-loop serve experiment,
+# the wheel edge-case suite, the scheduler steady-state allocation gate,
+# and the saturation-knee calibration (DESIGN.md §12).
+serve:
+	$(GO) test -run 'TestWheel|TestAfterZero|TestSchedulerDifferentialFiringOrder|TestSchedulerSteadyStateAllocs' ./internal/sim/
+	$(GO) test -run 'TestServe' -v ./internal/experiments/
 
 # chaos runs the deterministic fault-injection gates (DESIGN.md §11): the
 # seeded loss sweep and chaos soak must render byte-identically at every
@@ -88,10 +96,11 @@ ci: build
 	$(MAKE) raceshards
 	$(MAKE) shardcheck
 	$(MAKE) alloccheck
+	$(MAKE) serve
 	$(MAKE) chaos
 
 bench:
 	sh scripts/bench.sh $(BENCH_OUT)
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt BENCH_PR6.json BENCH_PR6.txt
+	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt BENCH_PR6.json BENCH_PR6.txt BENCH_PR7.json BENCH_PR7.txt

@@ -381,3 +381,30 @@ func BenchmarkAblation_DirectAccess(b *testing.B) {
 	b.ReportMetric(base, "µs/base-level")
 	b.ReportMetric(direct, "µs/direct-access")
 }
+
+// benchmarkServe measures the wall-clock cost of the open-loop serving
+// workload (internal/experiments Serve): seeded Poisson arrivals from a
+// large multiplexed logical-client population against a server pool,
+// near the saturation knee. The virtual-time results are identical at
+// every shard count; only wall-clock and events/sec change. Shard counts
+// above the core count are skipped unless UNET_BENCH_OVERSUB=1, as for
+// the cluster benchmarks above.
+func benchmarkServe(b *testing.B, shards int) {
+	if shards > runtime.NumCPU() && os.Getenv("UNET_BENCH_OVERSUB") == "" {
+		b.Skipf("%d shards on %d CPUs would measure window overhead, not speedup; set UNET_BENCH_OVERSUB=1 to force", shards, runtime.NumCPU())
+	}
+	b.ReportAllocs()
+	var r experiments.ServeResult
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		r = experiments.Serve(experiments.ServeConfig{Rate: 80_000, Shards: shards})
+	}
+	wall := time.Since(start)
+	b.ReportMetric(float64(r.Sent), "reqs")
+	b.ReportMetric(float64(r.Latency.Quantile(0.99))/1e3, "µs-p99")
+	b.ReportMetric(float64(r.Steps)*float64(b.N)/wall.Seconds(), "events/sec")
+	b.ReportMetric(float64(shards), "shards")
+}
+
+func BenchmarkServe_OpenLoop(b *testing.B)         { benchmarkServe(b, 0) }
+func BenchmarkServe_OpenLoopSharded4(b *testing.B) { benchmarkServe(b, 4) }

@@ -12,9 +12,11 @@
 //	unetbench -experiment figloss  # goodput/RTT-vs-loss sweep
 //	unetbench -experiment chaos -loss 0.01 -faultseed 7
 //	unetbench -experiment storm -shards 4 -simprof   # window profiler dump
+//	unetbench -experiment serve                      # open-loop serving sweep
+//	unetbench -experiment serve -serveclients 64 -servelogical 16384 -servebursty
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// figloss chaos ablations storm
+// figloss chaos ablations storm serve
 package main
 
 import (
@@ -38,6 +40,13 @@ func main() {
 		shards   = flag.Int("shards", 0, "shard engines per simulation (0 = serial, <0 = GOMAXPROCS; output is identical either way)")
 		hosts    = flag.Int("hosts", 8, "storm: cluster size")
 		simprof  = flag.Bool("simprof", false, "storm: dump the per-shard window-protocol profile (wall-clock diagnostics)")
+
+		serveClients  = flag.Int("serveclients", 0, "serve: load-generating hosts (0 = default 6)")
+		serveServers  = flag.Int("serveservers", 0, "serve: serving hosts (0 = default 2)")
+		serveLogical  = flag.Int("servelogical", 0, "serve: logical clients multiplexed per client host (0 = default 4096)")
+		serveDuration = flag.Duration("serveduration", 0, "serve: arrival window of virtual time (0 = default 20ms)")
+		serveLoads    = flag.String("serveloads", "20000,40000,60000,80000,100000,140000", "serve: comma-separated offered loads (req/s)")
+		serveBursty   = flag.Bool("servebursty", false, "serve: batched (bursty) arrivals instead of Poisson")
 
 		faultSeed = flag.Int64("faultseed", experiments.FaultSeed, "seed for the deterministic fault injectors (figloss, chaos)")
 		loss      = flag.Float64("loss", -1, "chaos: override the i.i.d. cell-loss rate (per-cell probability)")
@@ -104,8 +113,39 @@ func main() {
 					share, len(prof.Shards), wall.Round(time.Microsecond))
 			}
 		},
+		"serve": func() {
+			loads := make([]float64, 0, 8)
+			for _, s := range strings.Split(*serveLoads, ",") {
+				var v float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil || v <= 0 {
+					fmt.Fprintf(os.Stderr, "unetbench: bad -serveloads entry %q\n", s)
+					os.Exit(2)
+				}
+				loads = append(loads, v)
+			}
+			n := *shards
+			if n < 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			base := experiments.ServeConfig{
+				ClientHosts:    *serveClients,
+				Servers:        *serveServers,
+				LogicalPerHost: *serveLogical,
+				Duration:       *serveDuration,
+				Bursty:         *serveBursty,
+				Shards:         n,
+			}
+			report, results := experiments.ServeSweep(base, loads)
+			fmt.Print(report)
+			// Wall-clock diagnostics (not part of the deterministic report).
+			for _, r := range results {
+				fmt.Printf("  [diag] load=%.0f/s events=%d wall=%v events/sec=%.0f\n",
+					r.Cfg.Rate, r.Steps, r.Wall.Round(time.Microsecond),
+					float64(r.Steps)/r.Wall.Seconds())
+			}
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "figloss", "chaos", "storm"}
+	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "figloss", "chaos", "storm", "serve"}
 
 	ids := order
 	if *expFlag != "all" {

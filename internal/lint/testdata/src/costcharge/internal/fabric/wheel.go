@@ -1,0 +1,50 @@
+// wheel.go pins the scheduler-seam boundary of the cost model: re-arming
+// a delivery timer — timer-wheel bookkeeping, slot unlinks, re-inserts —
+// is free scheduler machinery, not a virtual-time charge. A cell-moving
+// method whose only "work" is wheel bookkeeping still models infinitely
+// fast hardware and must be flagged; the wire time has to come from a
+// calibrated cost parameter as on every other fast path.
+package fabric
+
+type wheelSlot struct {
+	head *deliveryTimer
+}
+
+type deliveryTimer struct {
+	deadline uint64
+	next     *deliveryTimer
+}
+
+type wheelLink struct {
+	slots    [64]wheelSlot
+	cur      uint64
+	armed    *deliveryTimer
+	cellTime int64
+	inbox    []Cell
+}
+
+// rearm unlinks the link's delivery timer and re-inserts it one slot
+// ahead of the drain frontier: pure scheduler bookkeeping, no cost
+// evidence anywhere.
+func (l *wheelLink) rearm() {
+	tm := l.armed
+	s := (l.cur + 1) % 64
+	tm.deadline = l.cur + 1
+	tm.next = l.slots[s].head
+	l.slots[s].head = tm
+}
+
+// Deliver moves a cell and re-arms the delivery timer, but wheel ops are
+// not a virtual-time charge — the cell crosses the wire for free.
+func (l *wheelLink) Deliver(c Cell) { // want `Deliver moves cells but never charges a virtual-time cost`
+	l.inbox = append(l.inbox, c)
+	l.rearm()
+}
+
+// DeliverTimed schedules the same re-arm against the calibrated per-cell
+// wire time — the cost-parameter reference is the charging evidence.
+func (l *wheelLink) DeliverTimed(c Cell) {
+	l.inbox = append(l.inbox, c)
+	l.armed.deadline = l.cur + uint64(l.cellTime)
+	l.rearm()
+}

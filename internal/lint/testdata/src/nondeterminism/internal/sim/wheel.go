@@ -1,0 +1,60 @@
+// wheel.go mirrors the hierarchical timer wheel's cascade: redistributing
+// a slot chain when the drain frontier crosses a level boundary is pure
+// tick arithmetic over virtual deadlines. A wall-clock read anywhere in
+// the cascade would let host timing leak into event order, so the
+// nondeterminism analyzer bans it here exactly as on any other sim path —
+// unless annotated as diagnostics-only.
+package sim
+
+import "time"
+
+type wheelEvent struct {
+	at   time.Duration
+	next *wheelEvent
+}
+
+type tinyWheel struct {
+	cur   uint64
+	slots [64]*wheelEvent
+	prof  profile
+}
+
+// cascadeTimed stamps the redistribution with the host clock — banned:
+// the cascade runs on the event path and anything it computes can feed
+// virtual time.
+func (w *tinyWheel) cascadeTimed(slot int) {
+	t0 := time.Now() // want `time\.Now reads the wall clock`
+	for ev := w.slots[slot]; ev != nil; ev = ev.next {
+		w.reinsert(ev)
+	}
+	w.slots[slot] = nil
+	w.prof.barrierWait += time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// cascade is the legal shape: level selection and slot placement derive
+// only from the event's virtual deadline and the wheel's drain frontier.
+func (w *tinyWheel) cascade(slot int) {
+	for ev := w.slots[slot]; ev != nil; {
+		next := ev.next
+		w.reinsert(ev)
+		ev = next
+	}
+	w.slots[slot] = nil
+}
+
+// cascadeProfiled may time itself for the window profiler, but only under
+// an annotation declaring the reading diagnostic-only.
+//
+//unetlint:allow nondeterminism wall-clock cascade profiling only; never feeds virtual time
+func (w *tinyWheel) cascadeProfiled(slot int) {
+	t0 := time.Now()
+	w.cascade(slot)
+	w.prof.barrierWait += time.Since(t0)
+}
+
+func (w *tinyWheel) reinsert(ev *wheelEvent) {
+	tick := uint64(ev.at) >> 12
+	s := (w.cur + tick) % 64
+	ev.next = w.slots[s]
+	w.slots[s] = ev
+}

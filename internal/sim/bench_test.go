@@ -105,3 +105,74 @@ func BenchmarkEngine_SleepResume(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// --- far-horizon scheduler: 4-ary heap vs hierarchical timer wheel ---
+
+// benchScheduler measures steady-state schedule+fire throughput while a
+// constant population of `pending` timers stays queued: every fired event
+// re-arms itself with a jittered far deadline, so the structure holds
+// `pending` entries throughout. The heap pays O(log pending) per
+// operation; the wheel pays amortized O(1), which is the whole point of
+// BenchmarkScheduler_*1M.
+func benchScheduler(b *testing.B, kind SchedulerKind, pending int) {
+	b.ReportAllocs()
+	e := NewWithScheduler(1, kind)
+	const spread = 100 * time.Millisecond
+	gap := spread / time.Duration(pending)
+	if gap <= 0 {
+		gap = 1
+	}
+	fired := 0
+	x := uint64(1)
+	var fn func(any)
+	fn = func(any) {
+		fired++
+		x = x*6364136223846793005 + 1442695040888963407
+		// Log-uniform re-arm horizon, 1µs .. ~65ms: a hot subset of timers
+		// cycles on short deadlines while the bulk of the population parks
+		// far out — the million-idle-timeouts shape the wheel exists for.
+		d := time.Microsecond << ((x >> 32) % 17)
+		e.AfterArg(d+time.Duration(x%1000), fn, nil)
+	}
+	for i := 0; i < pending; i++ {
+		e.AfterArg(time.Duration(i+1)*gap, fn, nil)
+	}
+	b.ResetTimer()
+	for fired < b.N {
+		e.RunUntil(e.Now() + spread/64)
+	}
+}
+
+func BenchmarkScheduler_Heap1k(b *testing.B)    { benchScheduler(b, SchedulerHeap, 1_000) }
+func BenchmarkScheduler_Wheel1k(b *testing.B)   { benchScheduler(b, SchedulerWheel, 1_000) }
+func BenchmarkScheduler_Heap100k(b *testing.B)  { benchScheduler(b, SchedulerHeap, 100_000) }
+func BenchmarkScheduler_Wheel100k(b *testing.B) { benchScheduler(b, SchedulerWheel, 100_000) }
+func BenchmarkScheduler_Heap1M(b *testing.B)    { benchScheduler(b, SchedulerHeap, 1_000_000) }
+func BenchmarkScheduler_Wheel1M(b *testing.B)   { benchScheduler(b, SchedulerWheel, 1_000_000) }
+
+// benchSchedulerCancel measures the arm-then-cancel timeout pattern that
+// dominates the UAM/TCP data path: with `pending` idle timers parked far
+// out, each op arms one more timeout and cancels it before it can fire
+// (the common case — I/O completes first). The wheel cancels in O(1)
+// (unlink and recycle, independent of population); the heap-only
+// scheduler pays an O(log pending) sift on every arm plus an amortized
+// O(pending) compaction sweep once canceled entries outnumber live ones.
+func benchSchedulerCancel(b *testing.B, kind SchedulerKind, pending int) {
+	b.ReportAllocs()
+	e := NewWithScheduler(1, kind)
+	nop := func() {}
+	for i := 0; i < pending; i++ {
+		e.After(time.Hour+time.Duration(i), nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Minute+time.Duration(i&4095), nop).Cancel()
+	}
+}
+
+func BenchmarkSchedulerCancel_Heap1k(b *testing.B)    { benchSchedulerCancel(b, SchedulerHeap, 1_000) }
+func BenchmarkSchedulerCancel_Wheel1k(b *testing.B)   { benchSchedulerCancel(b, SchedulerWheel, 1_000) }
+func BenchmarkSchedulerCancel_Heap100k(b *testing.B)  { benchSchedulerCancel(b, SchedulerHeap, 100_000) }
+func BenchmarkSchedulerCancel_Wheel100k(b *testing.B) { benchSchedulerCancel(b, SchedulerWheel, 100_000) }
+func BenchmarkSchedulerCancel_Heap1M(b *testing.B)    { benchSchedulerCancel(b, SchedulerHeap, 1_000_000) }
+func BenchmarkSchedulerCancel_Wheel1M(b *testing.B)   { benchSchedulerCancel(b, SchedulerWheel, 1_000_000) }

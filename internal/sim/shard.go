@@ -132,7 +132,7 @@ func (e *Engine) NewShard(seed int64) *Engine {
 	if g.root != e {
 		panic("sim: NewShard must be called on the group's root engine")
 	}
-	s := New(seed)
+	s := NewWithScheduler(seed, e.Scheduler())
 	s.group = g
 	s.shardID = len(g.shards)
 	g.shards = append(g.shards, s)
@@ -439,11 +439,15 @@ func (g *Group) runShard(id int, limit time.Duration) {
 	inbox := g.exchanges[id]
 	legacy := int64(g.minLA)
 	for {
-		// Publish the earliest pending event (canceled entries included —
-		// harmlessly conservative) and cross the round barrier.
+		// Publish the earliest pending event (canceled heap entries included
+		// — harmlessly conservative) and cross the round barrier. peek
+		// fast-forwards through the wheel's occupancy bitmaps so the
+		// published time is the exact minimum, never a slot lower bound: a
+		// lower bound could hold the globally-earliest shard's horizon below
+		// its true next event forever.
 		next := noEvent
-		if len(e.events) > 0 {
-			next = int64(e.events[0].at)
+		if ev := e.peek(); ev != nil {
+			next = int64(ev.at)
 		}
 		g.nextAt[id].Store(next)
 		g.barrierWait(prof, g.leaderVerdict)
@@ -464,8 +468,8 @@ func (g *Group) runShard(id int, limit time.Duration) {
 			}
 			if drained {
 				next = noEvent
-				if len(e.events) > 0 {
-					next = int64(e.events[0].at)
+				if ev := e.peek(); ev != nil {
+					next = int64(ev.at)
 				}
 				g.nextAt[id].Store(next)
 			}
@@ -582,7 +586,7 @@ func stopFor(limit time.Duration) time.Duration {
 // bounded run: the clock advances to the limit only when events remain
 // beyond it.
 func (e *Engine) alignNow(limit time.Duration) {
-	if limit >= 0 && len(e.events) > 0 && limit > e.now {
+	if limit >= 0 && e.PendingEvents() > 0 && limit > e.now {
 		e.now = limit
 	}
 }

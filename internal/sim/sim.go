@@ -15,14 +15,21 @@
 // The event queue is built for throughput on the simulator's hot path
 // (cell-level network models schedule millions of events per simulated
 // second of traffic): events live in a free-list-backed arena and are
-// recycled after firing, the queue is a 4-ary implicit heap (shallower than
-// a binary heap, and free of the container/heap interface indirection), and
-// process resumption is expressed as a dedicated event kind so that
-// Proc.Sleep and wake-ups allocate nothing in steady state. Canceled timers
-// stay in the heap but are compacted away wholesale once they outnumber the
-// live entries, so long-running simulations with many canceled timeouts
-// (TCP retransmission timers, condition waits) do not grow the queue
-// unboundedly.
+// recycled after firing, the near-horizon queue is a 4-ary implicit heap
+// (shallower than a binary heap, and free of the container/heap interface
+// indirection), and process resumption is expressed as a dedicated event
+// kind so that Proc.Sleep and wake-ups allocate nothing in steady state.
+// Canceled timers still heap-resident stay there but are compacted away
+// wholesale once they outnumber the live entries, so long-running
+// simulations with many canceled timeouts (TCP retransmission timers,
+// condition waits) do not grow the queue unboundedly.
+//
+// Above the heap sits a pluggable far-horizon store (SchedulerKind): by
+// default a hierarchical timer wheel (wheel.go) absorbs events beyond the
+// current drain frontier with O(1) insert/cancel, keeping heap depth — and
+// hence per-event cost — bounded by the near-term traffic, not by the
+// total pending population. Fire order is decided exclusively by the heap,
+// so both scheduler kinds produce bit-identical simulations.
 //
 // One simulation can also be partitioned across several engines — shards —
 // that execute on parallel goroutines under a conservative time-window
@@ -48,7 +55,9 @@ type Engine struct {
 	ncanceled int
 	// free is the event arena's free list. Fired and compacted events are
 	// returned here and reused, so steady-state scheduling allocates nothing.
-	free   *event
+	free *event
+	// wheel is the far-horizon event store (nil under SchedulerHeap).
+	wheel  *wheel
 	parked chan struct{}
 	// running is the currently executing process, nil while the engine
 	// itself (or a callback) runs.
@@ -63,14 +72,45 @@ type Engine struct {
 	shardID int
 }
 
+// SchedulerKind selects the engine's far-horizon event store.
+type SchedulerKind uint8
+
+const (
+	// SchedulerWheel (the default) backs the 4-ary heap with a hierarchical
+	// timer wheel: far-future events cost O(1) to schedule and cancel no
+	// matter how many millions are pending. See wheel.go.
+	SchedulerWheel SchedulerKind = iota
+	// SchedulerHeap keeps every pending event in the 4-ary heap. It exists
+	// as the differential-testing twin: a run under SchedulerHeap must be
+	// bit-identical to the same run under SchedulerWheel.
+	SchedulerHeap
+)
+
 // New returns an engine with its virtual clock at zero and randomness
-// seeded with seed.
-func New(seed int64) *Engine {
-	return &Engine{
+// seeded with seed, using the default wheel-backed scheduler.
+func New(seed int64) *Engine { return NewWithScheduler(seed, SchedulerWheel) }
+
+// NewWithScheduler is New with an explicit far-horizon scheduler choice.
+// Both kinds fire events in exactly the same (at, seq) order; the choice
+// affects only the cost of holding large pending-event populations.
+func NewWithScheduler(seed int64, kind SchedulerKind) *Engine {
+	e := &Engine{
 		parked: make(chan struct{}),
 		procs:  make(map[*Proc]struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
+	if kind == SchedulerWheel {
+		e.wheel = newWheel()
+	}
+	return e
+}
+
+// Scheduler reports which far-horizon scheduler the engine runs.
+func (e *Engine) Scheduler() SchedulerKind {
+	if e.wheel != nil {
+		return SchedulerWheel
+	}
+	return SchedulerHeap
 }
 
 // Now returns the current virtual time.
@@ -83,9 +123,32 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Useful as a progress/livelock diagnostic in tests.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
-// PendingEvents reports how many entries (live and canceled) currently sit
-// in the event queue. Exposed for queue-growth diagnostics and tests.
-func (e *Engine) PendingEvents() int { return len(e.events) }
+// PendingEvents reports how many entries (live, plus canceled ones still
+// awaiting heap compaction) currently sit in the event queue — heap and
+// wheel combined. Exposed for queue-growth diagnostics and tests.
+func (e *Engine) PendingEvents() int {
+	n := len(e.events)
+	if e.wheel != nil {
+		n += e.wheel.count
+	}
+	return n
+}
+
+// peek returns the earliest pending event without removing it, or nil. It
+// establishes the exact global minimum at the heap top, draining wheel
+// slots only as far as needed: the shard window protocol publishes this
+// value as the shard's next-event time, and a lower bound would stall the
+// conservative horizon computation.
+func (e *Engine) peek() *event {
+	if w := e.wheel; w != nil && w.count > 0 &&
+		(len(e.events) == 0 || e.events[0].at > w.nextLB) {
+		w.drain(e)
+	}
+	if len(e.events) == 0 {
+		return nil
+	}
+	return e.events[0]
+}
 
 // SetTracer installs fn to observe trace messages emitted via Tracef and
 // Proc.Logf. A nil fn disables tracing.
@@ -123,17 +186,23 @@ type event struct {
 	p     *Proc
 	w     *waiter
 	gen   uint32
-	// canceled events stay in the heap but do not fire.
+	// canceled events stay in the heap but do not fire. (Wheel-resident
+	// events are instead unlinked and recycled at Cancel time.)
 	canceled bool
-	// next chains the free list.
+	// wslot is the wheel slot this event occupies (level*wheelSlots+slot),
+	// or -1 while heap-resident, free, or fired.
+	wslot int32
+	// next chains the free list and the wheel slot lists; prev back-links
+	// the slot lists so wheel cancellation is O(1).
 	next *event
+	prev *event
 }
 
 // alloc takes an event from the arena free list, or grows the arena.
 func (e *Engine) alloc() *event {
 	ev := e.free
 	if ev == nil {
-		return &event{}
+		return &event{wslot: -1}
 	}
 	e.free = ev.next
 	ev.next = nil
@@ -148,6 +217,8 @@ func (e *Engine) recycle(ev *event) {
 	ev.p = nil
 	ev.w = nil
 	ev.canceled = false
+	ev.wslot = -1
+	ev.prev = nil
 	ev.gen++
 	ev.next = e.free
 	e.free = ev
@@ -162,11 +233,17 @@ type Timer struct {
 }
 
 // Cancel stops the timer. It reports whether the callback was still pending.
-// The canceled entry stays queued until it is popped or compacted away.
+// A wheel-resident entry is unlinked and recycled immediately; a
+// heap-resident one stays queued until it is popped or compacted away.
 func (t Timer) Cancel() bool {
 	ev := t.ev
 	if ev == nil || ev.gen != t.gen || ev.canceled {
 		return false
+	}
+	if ev.wslot >= 0 {
+		ev.e.wheel.unlink(ev)
+		ev.e.recycle(ev)
+		return true
 	}
 	ev.canceled = true
 	if ev.e != nil {
@@ -177,6 +254,9 @@ func (t Timer) Cancel() bool {
 }
 
 // schedule enqueues a pooled event at absolute time at (clamped to now).
+// Events beyond the wheel's drain frontier go to the far-horizon wheel;
+// everything else — including all of SchedulerHeap's traffic — goes to the
+// near-horizon heap.
 func (e *Engine) schedule(at time.Duration) *event {
 	if at < e.now {
 		at = e.now
@@ -186,8 +266,40 @@ func (e *Engine) schedule(at time.Duration) *event {
 	ev.seq = e.seq
 	ev.e = e
 	e.seq++
-	e.events.push(ev)
+	if w := e.wheel; w != nil && tick(at) > w.cur {
+		w.insert(ev)
+	} else {
+		e.events.push(ev)
+	}
 	return ev
+}
+
+// rearm moves a pending event to a new firing time, consuming a fresh
+// sequence number exactly as a Cancel + reschedule pair would — so a run
+// using rearm is event-for-event identical to one using the classic churn,
+// just without the allocation and heap traffic. It reports false when the
+// event is heap-resident (its position is unknown without a search); the
+// caller falls back to Cancel + schedule.
+func (e *Engine) rearm(ev *event, at time.Duration) bool {
+	if ev.wslot < 0 {
+		return false
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev.seq = e.seq
+	e.seq++
+	if at != ev.at {
+		w := e.wheel
+		w.unlink(ev)
+		ev.at = at
+		if tick(at) > w.cur {
+			w.insert(ev)
+		} else {
+			e.events.push(ev)
+		}
+	}
+	return true
 }
 
 // At schedules fn to run at absolute virtual time at. Times in the past are
@@ -253,14 +365,23 @@ func (e *Engine) RunUntil(limit time.Duration) time.Duration {
 // the serial engine's whole main loop (RunUntil passes limit+1) and one
 // conservative window of a sharded run.
 func (e *Engine) runWindow(stop time.Duration) {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.at >= stop {
+	for {
+		next := e.peek()
+		if next == nil || next.at >= stop {
 			return
 		}
 		e.events.pop()
 		if next.canceled {
 			e.ncanceled--
+			e.recycle(next)
+			continue
+		}
+		if next.kind == kindTimeout && next.w == nil {
+			// A detached timeout: its wait was signaled and WaitUntil kept the
+			// event armed for lazy re-arming, but no re-arm came. Exactly like
+			// a canceled entry — and like the cancel the classic
+			// schedule-per-wait pattern would have issued — it is dead weight:
+			// it must not advance the clock or count as a step.
 			e.recycle(next)
 			continue
 		}
@@ -346,6 +467,9 @@ func (e *Engine) shutdownLocal() {
 	e.events = nil
 	e.ncanceled = 0
 	e.free = nil
+	if e.wheel != nil {
+		e.wheel.reset()
+	}
 }
 
 // transfer hands execution to p and waits until p blocks or finishes.

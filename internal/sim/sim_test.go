@@ -408,3 +408,33 @@ func TestRunUntilNeverRewindsClock(t *testing.T) {
 		t.Fatalf("RunUntil rewound the clock to %v", got)
 	}
 }
+
+// TestSchedulerSteadyStateAllocs gates the zero-allocation contract of the
+// steady-state scheduling path under both scheduler kinds: schedule near
+// (heap) and far (wheel), cancel, and fire — all through the pooled arena
+// with no per-operation allocation once warm.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind SchedulerKind
+	}{{"wheel", SchedulerWheel}, {"heap", SchedulerHeap}} {
+		e := NewWithScheduler(1, tc.kind)
+		nop := func() {}
+		// Warm the arena, heap slice and wheel slots to capacity.
+		for i := 0; i < 256; i++ {
+			e.After(time.Duration(i+1)*time.Millisecond, nop).Cancel()
+			e.After(time.Duration(i+1)*time.Microsecond, nop)
+		}
+		e.Run()
+		allocs := testing.AllocsPerRun(200, func() {
+			e.After(time.Microsecond, nop)    // near horizon → heap
+			e.After(50*time.Millisecond, nop) // far horizon → wheel
+			tm := e.After(time.Second, nop)
+			tm.Cancel() // wheel cancel: unlink + immediate recycle
+			e.RunUntil(e.Now() + 100*time.Millisecond)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op in steady state, want 0", tc.name, allocs)
+		}
+	}
+}

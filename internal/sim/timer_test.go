@@ -149,3 +149,217 @@ func TestAfterZeroResumeOrdering(t *testing.T) {
 		t.Fatalf("order = %v, want [cb proc] (seq assigned at Sleep time)", order)
 	}
 }
+
+// --- hierarchical timer wheel edge cases ---
+
+// wheelOf returns the engine's wheel, skipping the test when the engine is
+// heap-only.
+func wheelOf(t *testing.T, e *Engine) *wheel {
+	t.Helper()
+	if e.wheel == nil {
+		t.Fatal("engine built without a wheel")
+	}
+	return e.wheel
+}
+
+// TestWheelBucketAndCascadeBoundaries schedules events exactly on level-0
+// tick boundaries and on the level-0→level-1 cascade boundary (tick 64,
+// where the XOR level rule first promotes an event to a higher level) and
+// pins exact firing times and (at, seq) order across the cascade.
+func TestWheelBucketAndCascadeBoundaries(t *testing.T) {
+	e := New(1)
+	wheelOf(t, e)
+	const tick0 = time.Duration(1) << granBits // 4096ns
+	ats := []time.Duration{
+		tick0 - 1,         // last instant of the current tick
+		tick0,             // first instant of tick 1 (wheel level 0)
+		tick0 + 1,         //
+		63 * tick0,        // last level-0 slot from cur=0
+		64*tick0 - 1,      //
+		64 * tick0,        // cascade boundary: level 1 from cur=0
+		64*tick0 + 1,      //
+		64*64*tick0 - 1,   // last level-1 instant
+		64 * 64 * tick0,   // level-2 boundary
+		64*64*tick0 + 123, //
+	}
+	var fired []time.Duration
+	for _, at := range ats {
+		at := at
+		e.At(at, func() {
+			if e.Now() != at {
+				t.Errorf("event for %v fired at %v", at, e.Now())
+			}
+			fired = append(fired, at)
+		})
+	}
+	e.Run()
+	if len(fired) != len(ats) {
+		t.Fatalf("fired %d of %d events", len(fired), len(ats))
+	}
+	for i := range ats {
+		if fired[i] != ats[i] {
+			t.Fatalf("fire order %v, want %v", fired, ats)
+		}
+	}
+}
+
+// TestWheelHeapHandoffSameTimestampOrder pins (at, seq) ordering for events
+// at the same timestamp when some are wheel-resident (scheduled far ahead)
+// and some are heap-resident (scheduled from a callback inside the same
+// tick): the handoff must preserve pure scheduling order.
+func TestWheelHeapHandoffSameTimestampOrder(t *testing.T) {
+	e := New(1)
+	wheelOf(t, e)
+	const tick0 = time.Duration(1) << granBits
+	T := 2 * tick0 // tick 2: far enough to start wheel-resident
+	var order []string
+	e.At(T, func() {
+		order = append(order, "wheel-first")
+		// Scheduled at the current instant from inside the tick: the wheel
+		// frontier has advanced to this tick, so these go straight to the
+		// heap — same timestamp, later seq.
+		e.At(T, func() { order = append(order, "heap-same-at") })
+		// Same tick, later instant: still heap-resident.
+		e.At(T+tick0-1, func() { order = append(order, "heap-same-tick") })
+		// Next tick: wheel again (heap→wheel handoff).
+		e.At(T+tick0, func() { order = append(order, "wheel-next-tick") })
+	})
+	e.At(T, func() { order = append(order, "wheel-second") })
+	e.Run()
+	want := []string{"wheel-first", "wheel-second", "heap-same-at", "heap-same-tick", "wheel-next-tick"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelCancelBypassesCompaction pins the wheel cancel contract: a
+// wheel-resident cancel unlinks and recycles immediately (PendingEvents
+// drops at once, no compaction debt), and a heap compaction triggered by
+// near-horizon cancels leaves wheel-resident entries untouched.
+func TestWheelCancelBypassesCompaction(t *testing.T) {
+	e := New(1)
+	wheelOf(t, e)
+	const tick0 = time.Duration(1) << granBits
+
+	// 1000 far-horizon timers, all canceled: the wheel must shed them
+	// immediately — no deferred half-dead population.
+	far := make([]Timer, 1000)
+	for i := range far {
+		far[i] = e.After(time.Duration(i+2)*tick0, func() { t.Error("canceled wheel timer fired") })
+	}
+	for i := range far {
+		if !far[i].Cancel() {
+			t.Fatalf("wheel Cancel %d reported not-pending", i)
+		}
+	}
+	if n := e.PendingEvents(); n != 0 {
+		t.Fatalf("wheel cancels left %d pending events (no immediate recycle)", n)
+	}
+
+	// Mix: ≥64 heap-resident (same-tick) timers plus wheel-resident ones.
+	// Canceling most of the heap population trips the lazy compaction;
+	// wheel entries must survive it and fire in order.
+	var order []int
+	near := make([]Timer, 100)
+	for i := range near {
+		i := i
+		near[i] = e.After(time.Duration(i+1), func() { order = append(order, i) }) // sub-tick: heap
+	}
+	e.After(5*tick0, func() { order = append(order, 1000) }) // wheel
+	for i := 0; i < 80; i++ {
+		near[i].Cancel()
+	}
+	if n := e.PendingEvents(); n >= 101 {
+		t.Fatalf("compaction never ran: %d entries queued", n)
+	}
+	e.Run()
+	if len(order) != 21 {
+		t.Fatalf("fired %d events, want 21 (20 heap survivors + 1 wheel)", len(order))
+	}
+	for k := 0; k < 20; k++ {
+		if order[k] != 80+k {
+			t.Fatalf("position %d fired id %d, want %d", k, order[k], 80+k)
+		}
+	}
+	if order[20] != 1000 {
+		t.Fatalf("wheel timer fired out of order: %v", order)
+	}
+}
+
+// TestAfterZeroSelfScheduling pins After(0) self-scheduling: a callback
+// that re-arms itself with zero delay runs again at the same virtual
+// instant (after already-queued same-instant events), and the clock never
+// advances.
+func TestAfterZeroSelfScheduling(t *testing.T) {
+	e := New(1)
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 5 {
+			e.After(0, step)
+		}
+	}
+	e.At(time.Microsecond, step)
+	end := e.Run()
+	if count != 5 {
+		t.Fatalf("self-scheduling ran %d times, want 5", count)
+	}
+	if end != time.Microsecond {
+		t.Fatalf("After(0) self-scheduling advanced the clock to %v", end)
+	}
+}
+
+// TestSchedulerDifferentialFiringOrder drives an identical seeded
+// schedule/cancel/sleep workload through a heap-only and a wheel engine and
+// asserts the observable firing sequences are identical — the sim-level
+// heap-equivalence check backing the golden suite.
+func TestSchedulerDifferentialFiringOrder(t *testing.T) {
+	runIt := func(kind SchedulerKind) ([]int, time.Duration) {
+		e := NewWithScheduler(1, kind)
+		var order []int
+		var timers []Timer
+		// A deterministic pseudo-random-ish spread from a tiny LCG (no
+		// wall-clock, no global rand): mixes sub-tick, same-tick, far-wheel
+		// and cascade-crossing deadlines, plus cancels and re-arms.
+		x := uint64(12345)
+		next := func(mod int) int {
+			x = x*6364136223846793005 + 1442695040888963407
+			return int((x >> 33) % uint64(mod))
+		}
+		for i := 0; i < 500; i++ {
+			i := i
+			at := time.Duration(next(1 << 22))
+			timers = append(timers, e.At(at, func() { order = append(order, i) }))
+		}
+		for i := 0; i < 500; i += 3 {
+			timers[i].Cancel()
+		}
+		e.Spawn("sleeper", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(time.Duration(next(1 << 18)))
+				order = append(order, 10_000+i)
+			}
+		})
+		end := e.Run()
+		return order, end
+	}
+	ho, he := runIt(SchedulerHeap)
+	wo, we := runIt(SchedulerWheel)
+	if he != we {
+		t.Fatalf("virtual end differs: heap=%v wheel=%v", he, we)
+	}
+	if len(ho) != len(wo) {
+		t.Fatalf("firing counts differ: heap=%d wheel=%d", len(ho), len(wo))
+	}
+	for i := range ho {
+		if ho[i] != wo[i] {
+			t.Fatalf("firing order diverges at %d: heap=%d wheel=%d", i, ho[i], wo[i])
+		}
+	}
+}

@@ -40,8 +40,11 @@ func (s *Series) At(x float64) (float64, bool) {
 
 // MaxY returns the largest y in the series (0 for an empty series).
 func (s *Series) MaxY() float64 {
-	max := 0.0
-	for _, p := range s.Points {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	max := s.Points[0].Y
+	for _, p := range s.Points[1:] {
 		if p.Y > max {
 			max = p.Y
 		}

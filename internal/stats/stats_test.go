@@ -37,6 +37,18 @@ func TestSeriesMaxY(t *testing.T) {
 	}
 }
 
+func TestSeriesMaxYAllNegative(t *testing.T) {
+	// Regression: seeding the scan at 0 instead of the first point made
+	// MaxY report 0 for series that never cross the x-axis.
+	var s Series
+	s.Add(1, -7)
+	s.Add(2, -3)
+	s.Add(3, -12)
+	if got := s.MaxY(); got != -3 {
+		t.Fatalf("all-negative MaxY = %v, want -3", got)
+	}
+}
+
 func TestFigureString(t *testing.T) {
 	f := &Figure{Title: "T", XLabel: "x", YLabel: "y"}
 	a := &Series{Name: "A"}

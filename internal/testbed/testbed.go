@@ -41,6 +41,12 @@ type Config struct {
 	// switch output queues. nil (or an all-zero plan) is the perfect wire —
 	// byte-identical to the fault-free testbed at any shard count.
 	Faults *faults.Plan
+	// Scheduler selects the engines' far-horizon event scheduler (the zero
+	// value is the hierarchical timer wheel). Both kinds fire events in the
+	// same (at, seq) order — results are byte-identical — so SchedulerHeap
+	// exists only for differential tests and microbenchmarks. Shards inherit
+	// the root engine's choice.
+	Scheduler sim.SchedulerKind
 }
 
 // Testbed is an assembled cluster.
@@ -82,7 +88,7 @@ func New(cfg Config) *Testbed {
 		cfg.SwitchLatency = fabric.DefaultSwitchLatency
 	}
 
-	e := sim.New(cfg.Seed)
+	e := sim.NewWithScheduler(cfg.Seed, cfg.Scheduler)
 	hostEng := make([]*sim.Engine, cfg.Hosts)
 	if k := cfg.Shards; k > 1 {
 		if k > cfg.Hosts {
@@ -152,6 +158,25 @@ func (tb *Testbed) FaultTotal() faults.FaultStats {
 
 // Close shuts the engine down, unwinding all simulated processes.
 func (tb *Testbed) Close() { tb.Eng.Shutdown() }
+
+// TotalSteps sums executed-event counts over every engine in the cluster
+// (the root plus any shards). For a fixed shard layout the total is
+// scheduler-invariant — the heap and wheel engines execute exactly the same
+// events — but it can differ by a handful across layouts, because
+// cross-shard links re-arm their delivery events per mailbox drain rather
+// than per cell. Virtual-time results are identical regardless; treat this
+// as a volume diagnostic, not a golden quantity across shard counts.
+func (tb *Testbed) TotalSteps() uint64 {
+	total := tb.Eng.Steps()
+	seen := map[*sim.Engine]bool{tb.Eng: true}
+	for i := range tb.Hosts {
+		if e := tb.Fabric.HostEngine(i); !seen[e] {
+			seen[e] = true
+			total += e.Steps()
+		}
+	}
+	return total
+}
 
 // Pair is a connected endpoint pair on hosts 0 and 1 with receive buffers
 // provided, ready for ping-pong style experiments.

@@ -236,12 +236,15 @@ func (u *UAM) Flush(p *sim.Proc, dst int) error {
 	if pe.outstanding() > 0 {
 		u.sendAckPing(p, pe)
 	}
+	var tm sim.Timer
 	for pe.outstanding() > 0 {
 		if pe.dead {
+			tm.Cancel()
 			return deadErr(pe)
 		}
-		u.pollOrTimeout(p, pe)
+		tm = u.pollOrTimeout(p, pe, tm)
 	}
+	tm.Cancel()
 	return nil
 }
 
@@ -257,12 +260,15 @@ func (u *UAM) FlushTimeout(p *sim.Proc, dst int, d time.Duration) bool {
 		u.sendAckPing(p, pe)
 	}
 	deadline := p.Now() + d
+	var tm sim.Timer
 	for pe.outstanding() > 0 {
 		if pe.dead || p.Now() >= deadline {
+			tm.Cancel()
 			return false
 		}
-		u.pollOrTimeout(p, pe)
+		tm = u.pollOrTimeout(p, pe, tm)
 	}
+	tm.Cancel()
 	return true
 }
 
@@ -285,15 +291,17 @@ func (u *UAM) FlushAll(p *sim.Proc) {
 			u.sendAckPing(p, pe)
 		}
 	}
+	var tm sim.Timer
 	for {
 		pending := false
 		for _, pe := range u.peerList {
 			if pe.outstanding() > 0 && !pe.dead {
 				pending = true
-				u.pollOrTimeout(p, pe)
+				tm = u.pollOrTimeout(p, pe, tm)
 			}
 		}
 		if !pending {
+			tm.Cancel()
 			return
 		}
 	}

@@ -29,12 +29,18 @@ func (u *UAM) sendReliable(p *sim.Proc, pe *peer, typ, handler uint8, arg uint32
 	// flowing in all-to-all communication patterns without explicit
 	// polling in the application.
 	u.drainIncoming(p)
+	// One timeout event serves the whole window stall: each wake re-arms it
+	// to the (possibly ack-advanced) retransmit deadline instead of
+	// scheduling and canceling a timer per wake.
+	var tm sim.Timer
 	for pe.outstanding() >= u.cfg.Window {
 		if pe.dead {
+			tm.Cancel()
 			return deadErr(pe)
 		}
-		u.pollOrTimeout(p, pe)
+		tm = u.pollOrTimeout(p, pe, tm)
 	}
+	tm.Cancel()
 	if pe.dead {
 		return deadErr(pe)
 	}
@@ -58,11 +64,11 @@ func (u *UAM) sendReliable(p *sim.Proc, pe *peer, typ, handler uint8, arg uint32
 	if slot.n > u.ep.Host().Device().SingleCellMax() {
 		charge(p, u.cfg.BulkOverhead)
 	}
-	pe.needAck = false
+	u.clearNeedAck(pe)
 	pe.dupPending = false // the piggybacked ack just went out
 	pe.nextSeq++
 	if pe.deadline == 0 {
-		pe.deadline = p.Now() + u.cfg.RetransmitTimeout
+		u.armDeadline(pe, p.Now()+u.cfg.RetransmitTimeout)
 	}
 	return u.transmitSlot(p, pe, *slot)
 }
@@ -99,7 +105,7 @@ func (u *UAM) sendControl(p *sim.Proc, pe *peer, typ uint8) {
 	var hdr [headerSize]byte
 	h.encode(hdr[:])
 	pe.lastAckSent = pe.expected
-	pe.needAck = false
+	u.clearNeedAck(pe)
 	pe.forceAck = false
 	pe.dupPending = false
 	// Control messages are single-cell and unsequenced: losing one only
@@ -164,18 +170,33 @@ func (u *UAM) PollWait(p *sim.Proc, d time.Duration) int {
 	return 1 + u.Poll(p)
 }
 
+// PollBlock blocks until at least one message arrives, then drains like
+// Poll. Unlike PollWait it arms no timer at all: a blocked server process
+// leaves nothing in the event queue, so a simulation whose clients have
+// finished quiesces instead of grinding timeout wakes — the idle-server
+// primitive for large serving testbeds. The caller must be sure traffic is
+// coming (or that permanent silence means the run is over): with no
+// deadline, retransmit timers are only checked once a message arrives.
+func (u *UAM) PollBlock(p *sim.Proc) int {
+	rd := u.ep.Recv(p)
+	u.process(p, rd)
+	return 1 + u.Poll(p)
+}
+
 // pollOrTimeout waits for traffic until pe's retransmit deadline, then
-// retransmits if nothing moved the window.
-func (u *UAM) pollOrTimeout(p *sim.Proc, pe *peer) {
+// retransmits if nothing moved the window. The timeout event rides along
+// in tm across the caller's stall loop (lazy re-arm — see RecvDeadline);
+// the caller cancels the last returned timer when the stall ends.
+func (u *UAM) pollOrTimeout(p *sim.Proc, pe *peer, tm sim.Timer) sim.Timer {
 	wait := pe.deadline - p.Now()
 	if wait <= 0 {
 		u.retransmit(p, pe)
-		return
+		return tm
 	}
-	rd, ok := u.ep.RecvTimeout(p, wait)
+	rd, ok, tm := u.ep.RecvDeadline(p, pe.deadline, tm)
 	if !ok {
 		u.retransmit(p, pe)
-		return
+		return tm
 	}
 	u.process(p, rd)
 	for {
@@ -186,15 +207,57 @@ func (u *UAM) pollOrTimeout(p *sim.Proc, pe *peer) {
 		u.process(p, rd)
 	}
 	u.flushAcks(p)
+	return tm
 }
 
 // checkTimers retransmits every peer whose deadline has passed, in node-id
-// order so the retransmission schedule is reproducible.
+// order so the retransmission schedule is reproducible. The per-peer
+// deadlines are coalesced into nextDeadline, a lower bound maintained by
+// armDeadline, so the common poll — nothing due — is O(1) instead of a
+// walk over every connected peer; the walk (and a fresh bound) happens
+// only when the bound itself has passed. Skipping the walk early is
+// behavior-preserving: no peer's deadline can be due before the bound.
 func (u *UAM) checkTimers(p *sim.Proc) {
+	if u.nextDeadline == 0 || p.Now() < u.nextDeadline {
+		return
+	}
 	for _, pe := range u.peerList {
 		if pe.deadline != 0 && p.Now() >= pe.deadline {
 			u.retransmit(p, pe)
 		}
+	}
+	u.nextDeadline = 0
+	for _, pe := range u.peerList {
+		if pe.deadline != 0 && (u.nextDeadline == 0 || pe.deadline < u.nextDeadline) {
+			u.nextDeadline = pe.deadline
+		}
+	}
+}
+
+// armDeadline sets pe's retransmit deadline and folds it into the
+// coalesced lower bound. Deadline clears (pe.deadline = 0) leave the bound
+// stale-low, costing at most one wasted walk, never a missed timer.
+func (u *UAM) armDeadline(pe *peer, d time.Duration) {
+	pe.deadline = d
+	if u.nextDeadline == 0 || d < u.nextDeadline {
+		u.nextDeadline = d
+	}
+}
+
+// setNeedAck marks pe as owing an explicit ack, keeping the owing-peer
+// count that gates flushAcks.
+func (u *UAM) setNeedAck(pe *peer) {
+	if !pe.needAck {
+		pe.needAck = true
+		u.nacks++
+	}
+}
+
+// clearNeedAck is setNeedAck's inverse (piggyback or explicit ack sent).
+func (u *UAM) clearNeedAck(pe *peer) {
+	if pe.needAck {
+		pe.needAck = false
+		u.nacks--
 	}
 }
 
@@ -227,7 +290,7 @@ func (u *UAM) retransmit(p *sim.Proc, pe *peer) {
 			return
 		}
 	}
-	pe.deadline = p.Now() + u.backoff(pe.retries)
+	u.armDeadline(pe, p.Now()+u.backoff(pe.retries))
 }
 
 // backoff returns the retransmit interval after the nth consecutive
@@ -252,6 +315,11 @@ func (u *UAM) backoff(retries int) time.Duration {
 // the data itself acknowledges — which keeps explicit acks off the NIC's
 // critical path.
 func (u *UAM) flushAcks(p *sim.Proc) {
+	if u.nacks == 0 {
+		// No peer owes an ack: the walk below would be a no-op. The count
+		// makes idle polls O(1) on instances with thousands of peers.
+		return
+	}
 	for _, pe := range u.peerList {
 		if !pe.needAck {
 			continue
@@ -327,7 +395,7 @@ func (u *UAM) processMsg(p *sim.Proc, pe *peer, msg []byte) {
 		u.stats.AcksRecv++
 		return
 	case typeAckPing:
-		pe.needAck = true
+		u.setNeedAck(pe)
 		pe.forceAck = true
 		return
 	}
@@ -339,7 +407,7 @@ func (u *UAM) processMsg(p *sim.Proc, pe *peer, msg []byte) {
 		// per duplicate) is enough to restart the sender and keeps ack
 		// storms off the wire.
 		u.stats.Duplicates++
-		pe.needAck = true
+		u.setNeedAck(pe)
 		if pe.dupPending {
 			u.stats.AcksSuppressed++
 		} else {
@@ -350,7 +418,7 @@ func (u *UAM) processMsg(p *sim.Proc, pe *peer, msg []byte) {
 	}
 	pe.expected++
 	if h.reqAck {
-		pe.needAck = true
+		u.setNeedAck(pe)
 	}
 	u.dispatch(p, pe, h, msg[headerSize:])
 }
@@ -369,7 +437,7 @@ func (u *UAM) applyAck(pe *peer, ack uint8) {
 	if pe.outstanding() == 0 {
 		pe.deadline = 0
 	} else {
-		pe.deadline = u.ep.Host().Eng.Now() + u.cfg.RetransmitTimeout
+		u.armDeadline(pe, u.ep.Host().Eng.Now()+u.cfg.RetransmitTimeout)
 	}
 }
 

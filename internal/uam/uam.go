@@ -163,6 +163,14 @@ type UAM struct {
 	stats    Stats
 	slotBase int // next free segment offset for peer slot allocation
 
+	// nextDeadline coalesces the per-peer retransmit deadlines into one
+	// lower bound (0 = none armed since the last full scan), so checkTimers
+	// is O(1) on an instance with thousands of connected peers unless a
+	// timer is actually due. nacks counts peers with needAck set, gating
+	// flushAcks the same way.
+	nextDeadline time.Duration
+	nacks        int
+
 	// scratch is a free-list stack of message staging buffers (gather
 	// output, store/get segment assembly). A stack — not a single buffer —
 	// because handlers re-enter the library: a dispatch can send, which

@@ -255,16 +255,34 @@ func (ep *Endpoint) RecvSelect(p *sim.Proc) RecvDesc {
 
 // RecvTimeout is Recv with a deadline; ok is false on timeout.
 func (ep *Endpoint) RecvTimeout(p *sim.Proc, d time.Duration) (RecvDesc, bool) {
-	deadline := p.Now() + d
+	rd, ok, tm := ep.RecvDeadline(p, p.Now()+d, sim.Timer{})
+	tm.Cancel()
+	return rd, ok
+}
+
+// RecvDeadline is Recv with an absolute deadline and a reusable timeout
+// timer: tm carries the (possibly still armed) timeout event of the
+// caller's previous RecvDeadline on this process, and the returned timer
+// carries it onward. Protocol loops that repeatedly wait out the same
+// retransmit deadline (UAM window stalls, TCP timer-granularity pumps)
+// thread the timer through instead of scheduling and canceling an event
+// per wake — under the wheel scheduler a re-arm is a sequence-number bump.
+// The caller should Cancel the last returned timer when the wait episode
+// ends; an un-canceled one is inert (the engine discards a detached
+// timeout without advancing the clock) but occupies a queue slot until its
+// deadline passes.
+func (ep *Endpoint) RecvDeadline(p *sim.Proc, deadline time.Duration, tm sim.Timer) (RecvDesc, bool, sim.Timer) {
 	for {
 		if rd, ok := ep.recvQ.TryGet(); ok {
-			return rd, true
+			return rd, true, tm
 		}
-		remain := deadline - p.Now()
-		if remain <= 0 {
-			return RecvDesc{}, false
+		if deadline-p.Now() <= 0 {
+			tm.Cancel()
+			return RecvDesc{}, false, sim.Timer{}
 		}
-		if p.WaitTimeout(ep.recvQ.NotEmpty(), remain) {
+		ok, next := p.WaitUntil(ep.recvQ.NotEmpty(), deadline, tm)
+		tm = next
+		if ok {
 			charge(p, ep.host.Params.Poll)
 		}
 	}

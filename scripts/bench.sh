@@ -10,9 +10,15 @@
 # 4. Fault-injection gates: the seeded loss sweep and chaos soak are
 #    byte-identical at every shard count, and the reliable layers deliver
 #    100% under ≤1% cell loss with bounded retransmits (DESIGN.md §11).
-# 5. Microbenchmarks (engine, fabric), the zero-alloc echo/UAM round
-#    trips, the end-to-end Figure 4 sweep, the goodput-under-loss
-#    recovery points, and the serial-vs-sharded 8-host cluster storm, all
+# 5. Scheduler + serving gates: the heap/wheel differential and
+#    shard-identity checks on the open-loop serve workload, the wheel
+#    edge-case suite and the scheduler steady-state allocation gate
+#    (DESIGN.md §12).
+# 6. Microbenchmarks (engine, scheduler heap-vs-wheel at 1k/100k/1M
+#    pending, fabric), the zero-alloc echo/UAM round trips, the
+#    end-to-end Figure 4 sweep, the goodput-under-loss recovery points,
+#    the serial-vs-sharded 8-host cluster storm and the open-loop serve
+#    workload, all
 #    with -benchmem, saved as benchstat-compatible text and summarized
 #    into the output JSON. Every JSON entry records the GOMAXPROCS it ran
 #    at and the machine's CPU count; the sharded storm entries also carry
@@ -21,11 +27,11 @@
 #    UNET_BENCH_OVERSUB=1 so oversubscribed shapes are still recorded
 #    (they skip by default under plain `go test -bench`).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR6.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR7.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 txt="${out%.json}.txt"
 
 echo "== tier-1: go build ./... && go test ./..." >&2
@@ -49,16 +55,24 @@ echo "== fault-injection gates (seeded determinism + loss recovery)" >&2
 GOMAXPROCS=4 go test -run 'TestGoldenFaultDeterminism|TestLossRecoveryDelivery' ./internal/experiments/
 go test -run 'TestSeededLossNthCellGolden|TestDeadPeerFailsInBoundedTime' ./internal/uam/ ./internal/ip/tcp/
 
+echo "== scheduler + serving gates (heap/wheel differential, wheel edges, knee)" >&2
+go test -run 'TestWheel|TestAfterZero|TestSchedulerDifferentialFiringOrder|TestSchedulerSteadyStateAllocs' ./internal/sim/
+go test -run 'TestServe' ./internal/experiments/
+
 echo "== benchmarks (benchstat-compatible: $txt)" >&2
 go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkLink_|BenchmarkSwitch_' \
 	-benchmem -benchtime 200000x -count 3 \
 	./internal/sim/ ./internal/fabric/ | tee "$txt"
+go test -run '^$' -bench 'BenchmarkScheduler' \
+	-benchmem -benchtime 2000000x -count 3 \
+	./internal/sim/ | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkEcho|BenchmarkUAMRoundTrip' \
 	-benchmem -benchtime 2000x -count 3 \
 	./internal/experiments/ | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkFigLoss_Recovery' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 UNET_BENCH_OVERSUB=1 go test -run '^$' -bench 'BenchmarkCluster_Sharded' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
+UNET_BENCH_OVERSUB=1 go test -run '^$' -bench 'BenchmarkServe_' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 
 echo "== summarizing into $out" >&2
 go run ./scripts/benchjson "$txt" "$out"

@@ -64,10 +64,15 @@ chaos:
 	$(GO) test -run 'TestSeededLossNthCellGolden|TestDeadPeerFailsInBoundedTime' ./internal/uam/ ./internal/ip/tcp/
 
 # lint runs go vet plus unetlint, the repo's own determinism analyzers
-# (nondeterminism, rawgo, mapiter, costcharge — see DESIGN.md §9).
-lint:
+# (nondeterminism, rawgo, mapiter, costcharge, seedflow, hotpathalloc,
+# barrierstate — see DESIGN.md §9, §13). The analyzers fan out over
+# GOMAXPROCS workers by default; `go build` first warms the build cache so
+# hotpathalloc's -gcflags=-m extraction replays compiler diagnostics
+# instead of recompiling, and -stale fails the build on //unetlint:allow
+# directives that no longer suppress anything.
+lint: build
 	$(GO) vet ./...
-	$(GO) run ./cmd/unetlint ./...
+	$(GO) run ./cmd/unetlint -stale ./...
 
 # lint-extra adds the external linters when they are installed (CI installs
 # them at the pinned versions above; locally they are optional).

@@ -1,19 +1,26 @@
 // Command unetlint is the multichecker for the repo's determinism lint
 // suite (internal/lint): it type-checks the requested packages — test
 // files included — and runs every analyzer that machine-checks the
-// simulator's reproducibility invariants (DESIGN.md §9).
+// simulator's reproducibility invariants (DESIGN.md §9, §13).
 //
 // Usage:
 //
-//	unetlint [-only nondeterminism,rawgo] [packages]
+//	unetlint [-only nondeterminism,rawgo] [-stale] [-json] [packages]
 //
 // Packages default to ./... . The exit status is 1 when any finding is
 // reported, so `make lint` (and CI) fail on a new violation; intentional
 // exceptions are annotated in source with //unetlint:allow <analyzer>
 // <reason>.
+//
+// -stale additionally reports every //unetlint:allow that no longer
+// suppresses anything (only meaningful when the full suite runs — a -only
+// subset leaves other analyzers' allows legitimately unused, so -stale
+// with -only is rejected). -json renders findings as a JSON array on
+// stdout for CI artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +30,21 @@ import (
 	"unet/internal/lint"
 )
 
+// jsonDiag is the CI artifact schema for one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	stale := flag.Bool("stale", false, "also report //unetlint:allow directives that suppress nothing (full suite only)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	serial := flag.Bool("serial", false, "run analyzers one at a time instead of in parallel")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +56,10 @@ func main() {
 
 	analyzers := lint.All
 	if *only != "" {
+		if *stale {
+			fmt.Fprintln(os.Stderr, "unetlint: -stale needs the full suite; drop -only")
+			os.Exit(2)
+		}
 		byName := make(map[string]*lint.Analyzer)
 		for _, a := range lint.All {
 			byName[a.Name] = a
@@ -61,15 +84,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unetlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags := lint.RunUnits(units, analyzers)
+	diags := lint.RunUnitsOpts(units, analyzers, lint.Options{
+		Stale:    *stale,
+		Parallel: !*serial,
+	})
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
+	relativize := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				return rel
 			}
 		}
-		fmt.Println(d)
+		return name
+	}
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     relativize(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "unetlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relativize(d.Pos.Filename)
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "unetlint: %d finding(s)\n", len(diags))

@@ -31,6 +31,8 @@ func Segment(vci VCI, payload []byte) []Cell {
 // (like append). Cell payloads are assembled in place — no intermediate PDU
 // staging buffer — so a caller that recycles dst across messages segments
 // with zero allocations in steady state.
+//
+//unetlint:hotpath AAL5 segmentation; runs on every message send
 func SegmentAppend(dst []Cell, vci VCI, payload []byte) []Cell {
 	if len(payload) > MaxPDU {
 		panic(fmt.Sprintf("atm: Segment called with %d-byte payload", len(payload)))
@@ -122,6 +124,8 @@ func (r *Reassembler) Reset() {
 // their own buffers) must copy. With SetSource, the payload's backing slab
 // is the caller's to keep — and to hand back to the source when consumed —
 // so no copy is ever needed.
+//
+//unetlint:hotpath AAL5 reassembly; runs on every arriving cell
 func (r *Reassembler) Add(c Cell) ([]byte, error) {
 	if r.buf == nil && r.src != nil {
 		r.buf = r.src.GetBuf()

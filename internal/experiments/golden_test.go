@@ -39,7 +39,7 @@ func TestGoldenShardSweep(t *testing.T) {
 	if len(serial) == 0 {
 		t.Fatal("empty serial rendering")
 	}
-	for _, k := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+	for _, k := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} { //unetlint:allow rawgo the shard sweep deliberately includes the machine's core count
 		Shards = k
 		if got := fmt.Sprintf("%v\n%v", Table3(10, 60), Fig4(40)); got != serial {
 			t.Fatalf("shards=%d diverged from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",

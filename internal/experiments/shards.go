@@ -19,7 +19,7 @@ var Shards = 0
 // shardCount resolves the Shards knob to a concrete shard count.
 func shardCount() int {
 	if Shards < 0 {
-		return runtime.GOMAXPROCS(0)
+		return runtime.GOMAXPROCS(0) //unetlint:allow rawgo reads core count to size the shard fleet; outputs are shard-count-invariant by the determinism guarantee
 	}
 	return Shards
 }

@@ -33,7 +33,6 @@ type hostPort struct {
 	i int
 }
 
-//unetlint:allow costcharge pass-through to the registered host sink; reception cost is charged by the NIC processor
 func (h hostPort) DeliverCell(cell atm.Cell) {
 	s := h.c.hostSinks[h.i]
 	if s == nil {
@@ -43,7 +42,6 @@ func (h hostPort) DeliverCell(cell atm.Cell) {
 	s.DeliverCell(cell)
 }
 
-//unetlint:allow costcharge pass-through to the registered host sink; reception cost is charged by the NIC processor
 func (h hostPort) DeliverTrain(cells []atm.Cell, first, spacing time.Duration) {
 	s := h.c.hostSinks[h.i]
 	if s == nil {

@@ -28,7 +28,31 @@ func runFixture(t *testing.T, a *lint.Analyzer, name string) {
 		t.Fatalf("fixture %s is empty", root)
 	}
 	diags := lint.RunUnits(units, []*lint.Analyzer{a})
+	checkWants(t, a, units, diags)
+}
 
+// runModuleFixture loads a real module under testdata (needed when the
+// fixture's packages import each other, or when the analyzer shells out to
+// the go tool — plain fixture trees support neither) and checks one
+// analyzer's diagnostics against its want comments.
+func runModuleFixture(t *testing.T, a *lint.Analyzer, name string) {
+	t.Helper()
+	root := filepath.Join("testdata", name)
+	units, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module fixture %s: %v", root, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("module fixture %s is empty", root)
+	}
+	diags := lint.RunUnits(units, []*lint.Analyzer{a})
+	checkWants(t, a, units, diags)
+}
+
+// checkWants matches reported diagnostics against the fixtures'
+// expectation comments.
+func checkWants(t *testing.T, a *lint.Analyzer, units []*lint.Unit, diags []lint.Diagnostic) {
+	t.Helper()
 	type loc struct {
 		file string
 		line int
@@ -124,3 +148,32 @@ func TestRawGoFixtures(t *testing.T) { runFixture(t, lint.RawGo, "rawgo") }
 func TestMapIterFixtures(t *testing.T) { runFixture(t, lint.MapIter, "mapiter") }
 
 func TestCostChargeFixtures(t *testing.T) { runFixture(t, lint.CostCharge, "costcharge") }
+
+func TestSeedFlowFixtures(t *testing.T) { runFixture(t, lint.SeedFlow, "seedflow") }
+
+func TestSeedFlowCrossPackage(t *testing.T) { runModuleFixture(t, lint.SeedFlow, "mod_seedtaint") }
+
+func TestBarrierStateFixtures(t *testing.T) { runFixture(t, lint.BarrierState, "barrierstate") }
+
+func TestHotPathAllocFixtures(t *testing.T) { runModuleFixture(t, lint.HotPathAlloc, "mod_hotpath") }
+
+// TestStaleAllows checks that an allow which suppresses a real finding is
+// silent while one that suppresses nothing is reported stale.
+func TestStaleAllows(t *testing.T) {
+	units, err := lint.LoadFixture(filepath.Join("testdata", "src", "stale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunUnitsOpts(units, lint.All, lint.Options{Stale: true})
+	var stale []string
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "stale //unetlint:allow") {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		stale = append(stale, d.Message)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "mapiter") {
+		t.Errorf("want exactly one stale mapiter allow, got %q", stale)
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BarrierState enforces the leader-fold discipline PR 6's fused barriers
+// introduced. At a fused barrier exactly one shard — the leader — runs the
+// fold closure while the others spin; state the fold reduces into
+// (sim.Group's roundDirty, roundMin, horizons, tAt) is correct only because
+// no non-leader writes it between barriers. That invariant lives entirely
+// in convention: nothing stops a future per-shard code path from writing
+// g.roundMin and silently corrupting the fold on some interleavings but
+// not others.
+//
+// Fields annotated //unetlint:leaderfold may be written (or have their
+// address taken) only inside the leader set:
+//
+//   - entries: every function passed as an argument at a parameter named
+//     `leader` with function type (the spinBarrier.wait(leader func())
+//     convention), and
+//   - closure: any function all of whose recorded callers are already in
+//     the leader set, iterated to a fixpoint over the program call graph.
+//
+// Setup-phase writes (allocating the slices before shards exist) carry
+// //unetlint:allow barrierstate annotations stating why no barrier is
+// live. Reads are unrestricted: the barrier's release fence orders them.
+var BarrierState = &Analyzer{
+	Name:       "barrierstate",
+	Doc:        "fields annotated //unetlint:leaderfold may only be written from barrier-leader closures",
+	RunProgram: runBarrierState,
+}
+
+func runBarrierState(pass *ProgramPass) {
+	prog := pass.Prog
+	if len(prog.LeaderFields) == 0 {
+		return
+	}
+	leaders := leaderSet(prog)
+
+	for _, u := range prog.Units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						checkLeaderWrite(pass, u, leaders, lhs, "write to")
+					}
+				case *ast.IncDecStmt:
+					checkLeaderWrite(pass, u, leaders, st.X, "write to")
+				case *ast.UnaryExpr:
+					if st.Op == token.AND {
+						checkLeaderWrite(pass, u, leaders, st.X, "address taken of")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// leaderSet computes entries (LeaderArgs) plus the called-only-from-leaders
+// closure.
+func leaderSet(prog *Program) map[string]bool {
+	leaders := make(map[string]bool, len(prog.LeaderArgs))
+	for id := range prog.LeaderArgs {
+		leaders[id] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.nodes {
+			if leaders[n.ID] {
+				continue
+			}
+			callers := prog.Callers(n.ID)
+			if len(callers) == 0 {
+				continue
+			}
+			all := true
+			for _, e := range callers {
+				if !leaders[e.Caller.ID] {
+					all = false
+					break
+				}
+			}
+			if all {
+				leaders[n.ID] = true
+				changed = true
+			}
+		}
+	}
+	return leaders
+}
+
+// checkLeaderWrite reports expr if it denotes a leader-folded field and the
+// enclosing function is outside the leader set.
+func checkLeaderWrite(pass *ProgramPass, u *Unit, leaders map[string]bool, expr ast.Expr, what string) {
+	se, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sel, ok := u.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	named, ok := derefNamed(sel.Recv()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	key := leaderFieldKey(named.Obj().Pkg().Path(), named.Obj().Name(), se.Sel.Name)
+	if !pass.Prog.LeaderFields[key] {
+		return
+	}
+	node := pass.Prog.NodeAt(se.Pos())
+	if node == nil || node.InTestFile {
+		return
+	}
+	// A literal nested in a leader is a leader when the literal itself made
+	// the set (via closure over its creation edge); check the node and its
+	// ancestors so deeply nested fold helpers resolve.
+	for n := node; n != nil; n = n.Parent {
+		if leaders[n.ID] {
+			return
+		}
+	}
+	pass.Reportf(se.Pos(), "%s leader-folded field %s.%s outside the barrier-leader closure (only functions reached solely from a `leader func()` argument may mutate it)",
+		what, named.Obj().Name(), se.Sel.Name)
+}
+
+// leaderFieldList renders the marked fields for diagnostics/tests.
+func leaderFieldList(prog *Program) []string {
+	out := make([]string, 0, len(prog.LeaderFields))
+	for k := range prog.LeaderFields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -10,26 +10,30 @@ import (
 // exported NIC/fabric method that moves cells — the fast paths — must
 // account virtual time for the work, either directly (advancing a cost
 // cursor, sleeping, referencing a calibrated cost/latency parameter) or by
-// delegating to a method in the same package that does. A data-moving
-// method that charges nothing models infinitely fast hardware and skews
-// every calibrated figure.
+// delegating to anything that does. A data-moving method that charges
+// nothing models infinitely fast hardware and skews every calibrated
+// figure.
 //
 // A method is considered a fast path when it is an exported method whose
 // parameters include a cell (a named type Cell, possibly a slice or
-// pointer). Charging evidence is searched transitively across same-package
-// calls; intake paths that legitimately cost nothing (a FIFO accepting an
-// already-paid-for arrival) carry an //unetlint:allow costcharge
-// annotation naming where the cost is charged instead.
+// pointer). Charging evidence propagates over the whole-program call graph,
+// so a switch method that delegates its accounting to a faults helper that
+// in turn advances a NIC cursor is still proven charged — same-package
+// delegation is no longer a requirement. Intake paths that legitimately
+// cost nothing (a FIFO accepting an already-paid-for arrival) carry an
+// //unetlint:allow costcharge annotation naming where the cost is charged
+// instead.
 //
 // internal/faults is held to the opposite contract: an injector judges
 // cells on the transmitter's critical path, and the Injector interface
 // promises that judging charges no virtual time — impairments reshape the
 // delivery schedule, they never stall the transmitter. There a cell-taking
-// method that reaches a time-spending call is the defect.
+// method that reaches a time-spending call — through any number of
+// packages — is the defect.
 var CostCharge = &Analyzer{
-	Name: "costcharge",
-	Doc:  "require exported NIC/fabric cell-moving methods to charge virtual-time cost; forbid fault injectors from spending it",
-	Run:  runCostCharge,
+	Name:       "costcharge",
+	Doc:        "require exported NIC/fabric cell-moving methods to charge virtual-time cost; forbid fault injectors from spending it",
+	RunProgram: runCostCharge,
 }
 
 // chargeCalls are callee names that unambiguously spend virtual time.
@@ -48,100 +52,68 @@ var costNameSuffixes = []string{"Cost", "Time", "Latency", "Overhead", "PerCell"
 // costIdents are local names whose mention shows cursor arithmetic.
 var costIdents = map[string]bool{"cursor": true, "latency": true}
 
-func runCostCharge(pass *Pass) {
-	seg := simSegment(pass.Unit.PkgPath)
-	if (seg != "nic" && seg != "fabric" && seg != "faults") || pass.Unit.ForTest {
-		return
-	}
+func runCostCharge(pass *ProgramPass) {
+	prog := pass.Prog
 
-	// Collect every function declared in the unit, whether it directly
-	// charges cost (any evidence) and whether it directly spends virtual
-	// time (an unambiguous time-spending call — the stricter signal the
-	// injector rule needs, since injectors may read timing parameters like
-	// CellTime without ever stalling anyone).
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	charges := make(map[*types.Func]bool)
-	spends := make(map[*types.Func]bool)
-	callees := make(map[*types.Func][]*types.Func)
-	for _, f := range pass.Unit.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := pass.Unit.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			decls[fn] = fd
-			if directlyCharges(pass, fd) {
-				charges[fn] = true
-			}
-			if directlySpends(fd) {
-				spends[fn] = true
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if callee := calleeFunc(pass, call); callee != nil {
-						callees[fn] = append(callees[fn], callee)
-					}
-				}
-				return true
-			})
+	// Direct evidence per node, program-wide: whether the body itself
+	// charges cost (any evidence) and whether it spends virtual time (an
+	// unambiguous time-spending call — the stricter signal the injector rule
+	// needs, since injectors may read timing parameters like CellTime
+	// without ever stalling anyone).
+	charges := make(map[string]bool)
+	spends := make(map[string]bool)
+	for _, n := range prog.nodes {
+		if directlyCharges(n) {
+			charges[n.ID] = true
+		}
+		if directlySpends(n) {
+			spends[n.ID] = true
 		}
 	}
 
-	// Propagate: a function charges (or spends) if anything it calls
-	// (within this package) does.
+	// Propagate over the call graph: a function charges (or spends) if
+	// anything it reaches does, across package boundaries. Callee IDs with
+	// no source node (stdlib, export-data-only) contribute nothing.
 	for changed := true; changed; {
 		changed = false
-		for fn := range decls {
-			for _, callee := range callees[fn] {
-				if charges[callee] && !charges[fn] {
-					charges[fn] = true
+		for _, n := range prog.nodes {
+			for _, e := range n.Calls {
+				if charges[e.CalleeID] && !charges[n.ID] {
+					charges[n.ID] = true
 					changed = true
 				}
-				if spends[callee] && !spends[fn] {
-					spends[fn] = true
+				if spends[e.CalleeID] && !spends[n.ID] {
+					spends[n.ID] = true
 					changed = true
 				}
 			}
 		}
 	}
 
-	if seg == "faults" {
-		for fn, fd := range decls {
-			if fd.Recv == nil || !spends[fn] || !hasCellParam(fn) {
-				continue
+	for _, n := range prog.nodes {
+		if n.Decl == nil || n.InTestFile || n.Decl.Recv == nil {
+			continue
+		}
+		fn := n.Fn
+		switch simSegment(n.Unit.PkgPath) {
+		case "faults":
+			if spends[n.ID] && hasCellParam(fn) {
+				pass.Reportf(n.Decl.Name.Pos(), "fault-injector method %s judges cells but spends virtual time (directly or transitively); impairments must reshape the delivery schedule, never stall the transmitter", n.Decl.Name.Name)
 			}
-			if strings.HasSuffix(pass.Unit.Fset.Position(fd.Pos()).Filename, "_test.go") {
-				continue
+		case "nic", "fabric":
+			if n.Decl.Name.IsExported() && !charges[n.ID] && hasCellParam(fn) {
+				pass.Reportf(n.Decl.Name.Pos(), "exported fast-path method %s moves cells but never charges a virtual-time cost (no cursor arithmetic, sleep, or cost-parameter reference, directly or transitively)", n.Decl.Name.Name)
 			}
-			pass.Reportf(fd.Name.Pos(), "fault-injector method %s judges cells but spends virtual time (directly or via same-package calls); impairments must reshape the delivery schedule, never stall the transmitter", fd.Name.Name)
 		}
-		return
-	}
-
-	for fn, fd := range decls {
-		if fd.Recv == nil || !fd.Name.IsExported() || charges[fn] {
-			continue
-		}
-		if strings.HasSuffix(pass.Unit.Fset.Position(fd.Pos()).Filename, "_test.go") {
-			continue
-		}
-		if !hasCellParam(fn) {
-			continue
-		}
-		pass.Reportf(fd.Name.Pos(), "exported fast-path method %s moves cells but never charges a virtual-time cost (no cursor arithmetic, sleep, or cost-parameter reference, directly or via same-package calls)", fd.Name.Name)
 	}
 }
 
-// directlySpends reports whether fd's body contains an unambiguous
+// directlySpends reports whether the node's body contains an unambiguous
 // time-spending call (Sleep, charge, …) — the evidence that convicts a
 // fault injector, which must never stall the transmitter.
-func directlySpends(fd *ast.FuncDecl) bool {
+func directlySpends(node *FuncNode) bool {
 	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(node.Body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
@@ -163,11 +135,11 @@ func directlySpends(fd *ast.FuncDecl) bool {
 	return found
 }
 
-// directlyCharges reports whether fd's body contains first-hand charging
-// evidence.
-func directlyCharges(pass *Pass, fd *ast.FuncDecl) bool {
+// directlyCharges reports whether the node's body contains first-hand
+// charging evidence.
+func directlyCharges(node *FuncNode) bool {
 	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(node.Body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
@@ -186,7 +158,7 @@ func directlyCharges(pass *Pass, fd *ast.FuncDecl) bool {
 			}
 		case *ast.SelectorExpr:
 			if id, ok := n.X.(*ast.Ident); ok {
-				if _, isPkg := pass.Unit.Info.Uses[id].(*types.PkgName); isPkg {
+				if _, isPkg := node.Unit.Info.Uses[id].(*types.PkgName); isPkg {
 					return true // time.Duration etc.: a package reference, not a cost table
 				}
 			}

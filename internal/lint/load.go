@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Unit is one type-checked body of Go source the analyzers run over: a
@@ -30,7 +31,12 @@ type Unit struct {
 	Files   []*ast.File
 	Pkg     *types.Package
 	Info    *types.Info
+	// LoadDir is the directory the load was rooted at (the module directory
+	// for Load, the fixture root for LoadFixture). Whole-program analyzers
+	// that shell out to the go tool (hotpathalloc) run it there.
+	LoadDir string
 
+	dirMu      sync.Mutex
 	directives []directive
 	dirDiags   []Diagnostic
 	dirBuilt   bool
@@ -179,6 +185,9 @@ func Load(dir string, patterns ...string) ([]*Unit, error) {
 		}
 		if files := append(append([]string(nil), p.GoFiles...), p.TestGoFiles...); len(files) > 0 {
 			u, err := checkUnit(fset, imp, p.Dir, p.ImportPath, files, false)
+			if err == nil {
+				u.LoadDir = dir
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -186,6 +195,9 @@ func Load(dir string, patterns ...string) ([]*Unit, error) {
 		}
 		if len(p.XTestGoFiles) > 0 {
 			u, err := checkUnit(fset, imp, p.Dir, p.ImportPath, p.XTestGoFiles, true)
+			if err == nil {
+				u.LoadDir = dir
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -273,6 +285,7 @@ func LoadFixture(root string) ([]*Unit, error) {
 		if err != nil {
 			return nil, err
 		}
+		u.LoadDir = root
 		units = append(units, u)
 	}
 	return units, nil

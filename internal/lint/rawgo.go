@@ -14,10 +14,30 @@ import (
 // the exact event order a serial run would produce. A goroutine or channel
 // anywhere else in the models introduces OS-scheduler ordering into
 // simulated behavior.
+//
+// The check is syntactic over whole files, so goroutines launched from
+// deferred closures, function literals stored in struct fields, and
+// package-level handler variables are all in scope — and the program index
+// (see program.go) additionally registers every such literal as a call
+// graph node, so the whole-program analyzers cannot lose them either.
+// Calls that steer the OS scheduler directly (runtime.Gosched and friends)
+// are banned alongside the primitives: yielding the OS thread from model
+// code is the same ordering leak as a channel, just better disguised.
 var RawGo = &Analyzer{
 	Name: "rawgo",
-	Doc:  "flag raw goroutines, channels, select and sync primitives outside the internal/sim shard runtime",
+	Doc:  "flag raw goroutines, channels, select, sync primitives and scheduler calls outside the internal/sim shard runtime",
 	Run:  runRawGo,
+}
+
+// bannedRuntimeFuncs are runtime package calls that manipulate the OS
+// scheduler from model code.
+var bannedRuntimeFuncs = map[string]bool{
+	"Gosched":        true,
+	"Goexit":         true,
+	"LockOSThread":   true,
+	"UnlockOSThread": true,
+	"GOMAXPROCS":     true,
+	"NumGoroutine":   true,
 }
 
 func runRawGo(pass *Pass) {
@@ -57,6 +77,10 @@ func runRawGo(pass *Pass) {
 						switch pn.Imported().Path() {
 						case "sync", "sync/atomic":
 							pass.Reportf(n.Pos(), "%s.%s outside the sim shard runtime; simulated synchronization belongs to the engine", pn.Imported().Path(), n.Sel.Name)
+						case "runtime":
+							if bannedRuntimeFuncs[n.Sel.Name] {
+								pass.Reportf(n.Pos(), "runtime.%s outside the sim shard runtime; model code must not steer the OS scheduler", n.Sel.Name)
+							}
 						}
 					}
 				}

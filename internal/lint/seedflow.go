@@ -1,0 +1,411 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow is the determinism contract of PR 5 made checkable: every PRNG
+// constructed inside the simulation packages must be seeded from the
+// deterministic derivation tree — faults.DeriveSeed (which folds the plan
+// seed with a stable per-link/per-host name) or a draw from an engine
+// stream (Engine.Rand) — never from a raw constant, wall-clock value or
+// unproven parameter. A rand.New(rand.NewSource(42)) buried in a model
+// runs identically today and silently diverges the day two call sites
+// collide on the constant; a seed that bypasses DeriveSeed breaks the
+// byte-identical-at-any-shard-count guarantee because per-link streams are
+// what keep fault outcomes independent of shard placement.
+//
+// The analysis is an interprocedural taint check run over the program call
+// graph. At every math/rand constructor call in sim scope (NewSource, New,
+// NewPCG, NewChaCha8), each seed argument must be *derived*:
+//
+//   - a call to faults.DeriveSeed, or to Engine.Rand (an engine stream);
+//   - a method call on a derived receiver (rng.Int63() of a derived rng);
+//   - arithmetic/conversions over at least one derived operand (the
+//     seed^salt idiom keeps derivation);
+//   - a local whose every assignment is derived;
+//   - a call to a function whose every return of that value is derived; or
+//   - a parameter that every call site in the program passes a derived
+//     argument for (cross-package taint through helpers).
+//
+// Test files are exempt: tests pin their own literal seeds on purpose.
+// Intentional roots (the engine's own master-seed stream) carry an
+// //unetlint:allow seedflow annotation naming why they are roots.
+var SeedFlow = &Analyzer{
+	Name:       "seedflow",
+	Doc:        "prove every PRNG in sim scope is seeded through faults.DeriveSeed or an engine stream",
+	RunProgram: runSeedFlow,
+}
+
+// seedConstructors are the math/rand constructors whose arguments are
+// seeds (or seed-carrying sources).
+var seedConstructors = map[string]bool{
+	"NewSource":  true,
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+type seedFlow struct {
+	pass *ProgramPass
+	prog *Program
+	// paramMemo caches parameter derivation verdicts; the in-progress
+	// marker breaks recursion cycles conservatively (underived).
+	paramMemo map[string]map[int]paramState
+	// retMemo caches whether a function's returned values are all derived.
+	retMemo map[string]paramState
+}
+
+type paramState int8
+
+const (
+	stateUnknown paramState = iota
+	stateInProgress
+	stateDerived
+	stateUnderived
+)
+
+func runSeedFlow(pass *ProgramPass) {
+	sf := &seedFlow{
+		pass:      pass,
+		prog:      pass.Prog,
+		paramMemo: make(map[string]map[int]paramState),
+		retMemo:   make(map[string]paramState),
+	}
+	for _, node := range sf.prog.nodes {
+		if node.InTestFile || !inSimScope(node.Unit.PkgPath) {
+			continue
+		}
+		sf.checkNode(node)
+	}
+}
+
+func (sf *seedFlow) checkNode(node *FuncNode) {
+	u := node.Unit
+	sf.prog.ownStmts(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(u, call)
+		if fn == nil || fn.Pkg() == nil || !seedConstructors[fn.Name()] {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if why := sf.derived(node, arg, nil); why != "" {
+				sf.pass.Reportf(call.Pos(),
+					"rand.%s seed does not flow through faults.DeriveSeed or an engine stream (%s); derive it from the plan seed and a stable name",
+					fn.Name(), why)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// derived reports why expr is NOT derived ("" when it is). visiting guards
+// against assignment cycles.
+func (sf *seedFlow) derived(node *FuncNode, expr ast.Expr, visiting map[types.Object]bool) string {
+	u := node.Unit
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		return "literal seed " + e.Value
+	case *ast.BinaryExpr:
+		// Arithmetic preserves derivation when either side carries it; two
+		// underived operands cannot conjure a derived seed.
+		if sf.derived(node, e.X, visiting) == "" || sf.derived(node, e.Y, visiting) == "" {
+			return ""
+		}
+		return "arithmetic over underived operands"
+	case *ast.UnaryExpr:
+		return sf.derived(node, e.X, visiting)
+	case *ast.CallExpr:
+		if tv, ok := u.Info.Types[e.Fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				return sf.derived(node, e.Args[0], visiting) // conversion
+			}
+			return "conversion"
+		}
+		fn := calleeOf(u, e)
+		if fn == nil {
+			return "call through a function value"
+		}
+		if isSeedRoot(fn) {
+			return ""
+		}
+		// A draw from a derived stream is derived: rng.Int63() etc.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if sf.derived(node, sel.X, visiting) == "" {
+					return ""
+				}
+			}
+		}
+		// Nested constructor: rand.New(rand.NewSource(x)) — the inner call
+		// judges its own arguments; the outer sees a derived source only if
+		// the inner arguments are derived.
+		if fn.Pkg() != nil && seedConstructors[fn.Name()] &&
+			(fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") {
+			for _, arg := range e.Args {
+				if why := sf.derived(node, arg, visiting); why != "" {
+					return why
+				}
+			}
+			return ""
+		}
+		if sf.returnsDerived(fn.FullName()) == stateDerived {
+			return ""
+		}
+		return "call to " + fn.Name() + " whose result is not proven derived"
+	case *ast.Ident:
+		obj := u.Info.Uses[e]
+		if obj == nil {
+			obj = u.Info.Defs[e]
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			return "constant " + obj.Name()
+		case *types.Var:
+			if idx, owner := sf.paramIndex(node, obj); idx >= 0 {
+				if sf.paramDerived(owner, idx) == stateDerived {
+					return ""
+				}
+				return "parameter " + obj.Name() + " is not proven derived at every call site"
+			}
+			return sf.localDerived(node, obj, visiting)
+		case nil:
+			return "unresolved identifier " + e.Name
+		}
+		return "non-variable " + e.Name
+	case *ast.SelectorExpr:
+		// A field read: no flow tracking through struct state; rely on
+		// helper functions (plan.Seed flows through faults.NewRand, which
+		// calls DeriveSeed itself).
+		return "field " + e.Sel.Name + " read (seed state in structs is not tracked; route it through faults.DeriveSeed)"
+	case *ast.IndexExpr:
+		return "indexed value"
+	case *ast.CompositeLit:
+		// [32]byte{…} for NewChaCha8: derived only if every element is.
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if sf.derived(node, el, visiting) == "" {
+				return ""
+			}
+		}
+		return "composite literal of underived elements"
+	}
+	return "unrecognized seed expression"
+}
+
+// paramIndex reports whether obj is a parameter of node or of an enclosing
+// function (closures capture their encloser's parameters), returning its
+// index and the owning node.
+func (sf *seedFlow) paramIndex(node *FuncNode, obj *types.Var) (int, *FuncNode) {
+	for n := node; n != nil; n = n.Parent {
+		var ft *ast.FuncType
+		if n.Decl != nil {
+			ft = n.Decl.Type
+		} else {
+			ft = n.Lit.Type
+		}
+		idx := 0
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				def := n.Unit.Info.Defs[name]
+				if def == obj {
+					return idx, n
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	return -1, nil
+}
+
+// paramDerived decides whether parameter i of the function with the given
+// node is passed a derived argument at every recorded call site. A
+// function with no recorded call sites (dead code, or called only through
+// values the graph cannot see) is conservatively underived.
+func (sf *seedFlow) paramDerived(node *FuncNode, i int) paramState {
+	if node.Decl == nil {
+		// Closures: no reliable call-site argument mapping; conservative.
+		return stateUnderived
+	}
+	id := node.ID
+	m := sf.paramMemo[id]
+	if m == nil {
+		m = make(map[int]paramState)
+		sf.paramMemo[id] = m
+	}
+	switch m[i] {
+	case stateDerived, stateUnderived:
+		return m[i]
+	case stateInProgress:
+		return stateUnderived // recursion: conservative
+	}
+	m[i] = stateInProgress
+	edges := sf.prog.Callers(id)
+	verdict := stateUnderived
+	if len(edges) > 0 {
+		verdict = stateDerived
+		for _, e := range edges {
+			if i >= len(e.Call.Args) {
+				verdict = stateUnderived // variadic mismatch: conservative
+				break
+			}
+			if why := sf.derived(e.Caller, e.Call.Args[i], nil); why != "" {
+				verdict = stateUnderived
+				break
+			}
+		}
+	}
+	m[i] = verdict
+	return verdict
+}
+
+// localDerived checks every assignment to a local variable within the
+// node (and its enclosers, for captured locals): the variable is derived
+// only when each right-hand side assigned to it is. visiting breaks
+// self-referential assignment chains (x = x ^ salt) conservatively.
+func (sf *seedFlow) localDerived(node *FuncNode, obj *types.Var, visiting map[types.Object]bool) string {
+	if visiting[obj] {
+		return "self-referential assignment to " + obj.Name()
+	}
+	if visiting == nil {
+		visiting = make(map[types.Object]bool)
+	}
+	visiting[obj] = true
+	defer delete(visiting, obj)
+
+	assigned := false
+	why := ""
+	for n := node; n != nil && why == ""; n = n.Parent {
+		owner := n
+		sf.prog.ownStmts(owner, func(x ast.Node) bool {
+			if why != "" {
+				return false
+			}
+			as, ok := x.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lobj := owner.Unit.Info.Defs[id]
+				if lobj == nil {
+					lobj = owner.Unit.Info.Uses[id]
+				}
+				if lobj != types.Object(obj) {
+					continue
+				}
+				assigned = true
+				if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+					why = obj.Name() + " assigned from a multi-value expression"
+					return false
+				}
+				if i < len(as.Rhs) {
+					if w := sf.derived(owner, as.Rhs[i], visiting); w != "" {
+						why = obj.Name() + " assigned an underived value (" + w + ")"
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if why != "" {
+			break
+		}
+	}
+	if why != "" {
+		return why
+	}
+	if !assigned {
+		return "variable " + obj.Name() + " has no visible derived assignment"
+	}
+	return ""
+}
+
+func (sf *seedFlow) returnsDerived(id string) paramState {
+	if st, ok := sf.retMemo[id]; ok {
+		if st == stateInProgress {
+			return stateUnderived
+		}
+		return st
+	}
+	node := sf.prog.Nodes[id]
+	if node == nil || node.Body == nil {
+		sf.retMemo[id] = stateUnderived
+		return stateUnderived
+	}
+	sf.retMemo[id] = stateInProgress
+	verdict := stateUnderived
+	found := false
+	allDerived := true
+	sf.prog.ownStmts(node, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		found = true
+		for _, r := range ret.Results {
+			if why := sf.derived(node, r, nil); why != "" {
+				allDerived = false
+			}
+		}
+		return true
+	})
+	if found && allDerived {
+		verdict = stateDerived
+	}
+	sf.retMemo[id] = verdict
+	return verdict
+}
+
+// isSeedRoot reports whether fn is a derivation root: faults.DeriveSeed or
+// an engine stream accessor.
+func isSeedRoot(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if fn.Name() == "DeriveSeed" && strings.HasSuffix(path, "internal/faults") {
+		return true
+	}
+	if fn.Name() == "Rand" && strings.HasSuffix(path, "internal/sim") {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeOf resolves the *types.Func a call invokes within unit u (nil for
+// builtins, conversions and function values).
+func calleeOf(u *Unit, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := u.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -2,15 +2,17 @@ package lint_test
 
 import (
 	"testing"
+	"time"
 
 	"unet/internal/lint"
 )
 
 // TestRepoIsLintClean is the guard the Makefile's lint target relies on: the
-// full unetlint suite must exit clean on the repository itself. Intentional
-// exceptions carry //unetlint:allow annotations with reasons; a new finding
-// here means either a real determinism hazard or a suppression that has not
-// been documented.
+// full unetlint suite — stale-suppression check included — must exit clean
+// on the repository itself. Intentional exceptions carry //unetlint:allow
+// annotations with reasons; a new finding here means a real determinism
+// hazard, a suppression that has not been documented, or an allow that
+// outlived the finding it suppressed.
 func TestRepoIsLintClean(t *testing.T) {
 	units, err := lint.Load(".", "unet/...")
 	if err != nil {
@@ -19,7 +21,39 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(units) == 0 {
 		t.Fatal("no packages loaded")
 	}
-	for _, d := range lint.RunUnits(units, lint.All) {
+	for _, d := range lint.RunUnitsOpts(units, lint.All, lint.Options{Stale: true, Parallel: true}) {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestUnetlintWallTime bounds the full-suite wall time so the
+// interprocedural engine (call-graph build, escape-fact extraction) never
+// quietly turns `make lint` into a coffee break. The budget is generous —
+// load + type-check + program build + a cache-replayed -gcflags=-m compile
+// fit in a few seconds on any warm build cache.
+func TestUnetlintWallTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-time budget needs a warm build cache")
+	}
+	start := time.Now()
+	units, err := lint.Load(".", "unet/...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	lint.RunUnitsOpts(units, lint.All, lint.Options{Stale: true, Parallel: true})
+	if elapsed := time.Since(start); elapsed > 90*time.Second {
+		t.Fatalf("full lint suite took %v; budget is 90s", elapsed)
+	}
+}
+
+// BenchmarkUnetlint measures one full-suite run over the repository,
+// loading included: the number CI watches when the engine grows.
+func BenchmarkUnetlint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		units, err := lint.Load(".", "unet/...")
+		if err != nil {
+			b.Fatalf("loading packages: %v", err)
+		}
+		lint.RunUnitsOpts(units, lint.All, lint.Options{Stale: true, Parallel: true})
 	}
 }

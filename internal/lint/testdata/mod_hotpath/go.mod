@@ -1,0 +1,3 @@
+module hotpathfix
+
+go 1.24

@@ -1,0 +1,56 @@
+package nic
+
+import "fmt"
+
+type Cell struct{ B [48]byte }
+
+type Dev struct {
+	buf  []Cell
+	cb   func(int)
+	sink *Cell
+}
+
+// Push is allocation-free: it reuses the preallocated ring.
+//
+//unetlint:hotpath fixture: steady-state intake
+func (d *Dev) Push(c Cell) {
+	if len(d.buf) < cap(d.buf) {
+		d.buf = d.buf[:len(d.buf)+1]
+		d.buf[len(d.buf)-1] = c
+	}
+}
+
+// Leak pins its argument to the heap.
+//
+//unetlint:hotpath fixture: allocating hot function
+func (d *Dev) Leak(c Cell) { // want "heap allocation"
+	d.sink = &c
+}
+
+// Deep reaches an allocation two static calls down.
+//
+//unetlint:hotpath fixture: transitive allocation
+func (d *Dev) Deep() { d.mid() } // want "heap allocation"
+
+func (d *Dev) mid() { d.leaf() } // want "heap allocation"
+
+func (d *Dev) leaf() {
+	d.sink = new(Cell) // want "heap allocation"
+}
+
+// Dyn calls through a function value: a hole the proof must report.
+//
+//unetlint:hotpath fixture: dynamic dispatch
+func (d *Dev) Dyn() {
+	d.cb(1) // want "cannot follow"
+}
+
+// Boom allocates only to panic; a panicking simulator has no steady state
+// to protect, so this is exempt.
+//
+//unetlint:hotpath fixture: panic-only allocation
+func (d *Dev) Boom(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad cell count %d", n))
+	}
+}

@@ -1,0 +1,3 @@
+module seedtaint
+
+go 1.24

@@ -1,0 +1,16 @@
+package fabric
+
+import (
+	"math/rand"
+
+	"seedtaint/internal/faults"
+	"seedtaint/internal/nic"
+)
+
+// Build exercises the cross-package taint: the good helper only ever sees
+// derived seeds; the bad helper gets a literal from here.
+func Build(plan int64) (*rand.Rand, *rand.Rand) {
+	good := nic.NewLinkRand(faults.DeriveSeed(plan, "link0"))
+	bad := nic.NewBadRand(7)
+	return good, bad
+}

@@ -1,0 +1,11 @@
+package faults
+
+// DeriveSeed folds the plan seed with a stable name; seedflow roots on
+// the internal/faults package-path suffix.
+func DeriveSeed(seed int64, name string) int64 {
+	h := uint64(seed) * 1099511628211
+	for _, b := range []byte(name) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return int64(h)
+}

@@ -1,0 +1,13 @@
+package nic
+
+import "math/rand"
+
+// NewLinkRand's seed parameter is proven derived across the package
+// boundary: every caller in the program passes a faults.DeriveSeed result.
+func NewLinkRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// NewBadRand is identical but one cross-package caller passes a literal,
+// so the parameter is not proven derived.
+func NewBadRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "parameter seed is not proven derived" "parameter seed is not proven derived"
+}

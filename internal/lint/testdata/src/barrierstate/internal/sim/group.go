@@ -1,0 +1,41 @@
+package sim
+
+type group struct {
+	//unetlint:leaderfold round verdict folded by the barrier leader
+	roundMin int64
+	plain    int64
+}
+
+type barrier struct{}
+
+// wait mimics the real spinBarrier: the last arriver runs leader while
+// every other shard is stopped inside the barrier.
+func (b *barrier) wait(leader func()) {
+	leader()
+}
+
+func (g *group) run(b *barrier) {
+	b.wait(g.fold)
+	g.plain = 1
+	g.roundMin = 2 // want "write to leader-folded field"
+}
+
+// fold is a leader entry: it is passed at a `leader func()` parameter.
+func (g *group) fold() {
+	g.roundMin = 3
+	g.helper()
+}
+
+// helper joins the leader set by closure: its only caller is a leader.
+func (g *group) helper() {
+	g.roundMin++
+}
+
+func (g *group) addr() *int64 {
+	return &g.roundMin // want "address taken of leader-folded field"
+}
+
+// setup writes before any shard goroutine exists are allowed explicitly.
+func (g *group) setup() {
+	g.roundMin = 0 //unetlint:allow barrierstate setup phase, no barrier live yet
+}

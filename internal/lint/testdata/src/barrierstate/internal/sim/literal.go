@@ -1,0 +1,10 @@
+package sim
+
+// runLit passes a function literal as the leader; writes inside the
+// literal are leader writes, writes outside are not.
+func (g *group) runLit(b *barrier) {
+	b.wait(func() {
+		g.roundMin = 4
+	})
+	g.roundMin = 5 // want "write to leader-folded field"
+}

@@ -1,0 +1,50 @@
+package fabric
+
+import "runtime"
+
+// Regression coverage for goroutines hidden in places a declaration-level
+// walk would miss: deferred closures, function literals stored in struct
+// fields, and package-level handler variables.
+
+type launcher struct {
+	start func()
+}
+
+func deferred() {
+	defer func() {
+		go work() // want "raw go statement"
+	}()
+}
+
+func fieldLiteral() launcher {
+	return launcher{
+		start: func() {
+			go work() // want "raw go statement"
+		},
+	}
+}
+
+var packageHandler = func() {
+	go work() // want "raw go statement"
+}
+
+func work() {}
+
+func yields() {
+	runtime.Gosched() // want "must not steer the OS scheduler"
+}
+
+func pins() {
+	runtime.LockOSThread() // want "must not steer the OS scheduler"
+}
+
+func cores() int {
+	return runtime.GOMAXPROCS(0) // want "must not steer the OS scheduler"
+}
+
+// Reading memory statistics is not scheduler interaction.
+func memOK() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

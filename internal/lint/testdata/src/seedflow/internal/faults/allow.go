@@ -1,0 +1,8 @@
+package faults
+
+import "math/rand"
+
+// master is an intentional root, like the engine's master stream.
+func master() *rand.Rand {
+	return rand.New(rand.NewSource(99)) //unetlint:allow seedflow fixture master root seeded directly from the plan
+}

@@ -1,0 +1,26 @@
+package faults
+
+import "math/rand"
+
+func rawLiteral() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "literal seed 42" "literal seed 42"
+}
+
+const fixedSeed = 7
+
+func namedConst() rand.Source {
+	return rand.NewSource(fixedSeed) // want "constant fixedSeed"
+}
+
+// badHelper's parameter is not proven derived: one call site below passes
+// a raw literal, so every construction through it is flagged.
+func badHelper(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) } // want "parameter s is not proven derived" "parameter s is not proven derived"
+
+func useBadHelperDerived(seed int64) *rand.Rand { return badHelper(DeriveSeed(seed, "ok")) }
+
+func useBadHelperRaw() *rand.Rand { return badHelper(1234) }
+
+// mixup: two underived operands cannot conjure a derived seed.
+func mixup(a, b int64) rand.Source {
+	return rand.NewSource(a ^ b) // want "arithmetic over underived operands"
+}

@@ -1,0 +1,6 @@
+package faults
+
+import "math/rand"
+
+// Test files pin literal seeds on purpose; seedflow exempts them.
+func seedForTest() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,35 @@
+package faults
+
+import "math/rand"
+
+// DeriveSeed mirrors the real root: fixture packages cannot import the
+// repo, and seedflow roots on the package-path suffix internal/faults.
+func DeriveSeed(seed int64, name string) int64 {
+	h := uint64(seed) * 1099511628211
+	for _, b := range []byte(name) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return int64(h)
+}
+
+// NewRand is the canonical derived construction.
+func NewRand(seed int64, link string) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(seed, link)))
+}
+
+// salted: arithmetic over a derived operand stays derived.
+func salted(seed int64) *rand.Rand {
+	s := DeriveSeed(seed, "salted") ^ 0x9e3779b9
+	return rand.New(rand.NewSource(s + 1))
+}
+
+// helper's parameter is proven derived: every call site in the program
+// passes a DeriveSeed result.
+func helper(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+
+func useHelper(seed int64) *rand.Rand { return helper(DeriveSeed(seed, "h")) }
+
+// derive wraps the root; its result is derived at calls to it.
+func derive(seed int64) int64 { return DeriveSeed(seed, "wrapped") }
+
+func viaWrapper(seed int64) rand.Source { return rand.NewSource(derive(seed)) }

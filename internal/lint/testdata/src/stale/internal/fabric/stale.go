@@ -1,0 +1,13 @@
+package fabric
+
+import "sync"
+
+// The rawgo allow below suppresses a real finding; the mapiter allow
+// suppresses nothing and must be reported as stale.
+
+var mu sync.Mutex //unetlint:allow rawgo fixture: this suppression is exercised
+
+func idle() int {
+	x := 1 //unetlint:allow mapiter nothing on this line ever fires
+	return x
+}

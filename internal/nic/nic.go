@@ -227,6 +227,8 @@ func (d *Device) CloseChannel(ep *unet.Endpoint, ch unet.ChannelID) {
 }
 
 // route looks up the table entry for v, or nil if the VCI is unregistered.
+//
+//unetlint:hotpath per-cell demux lookup; runs once per arriving cell
 func (d *Device) route(v atm.VCI) *vciEntry {
 	if d.lastEnt != nil && v == d.lastVCI {
 		return d.lastEnt
@@ -241,6 +243,8 @@ func (d *Device) route(v atm.VCI) *vciEntry {
 // KickTx wakes the processor: ep's send queue became non-empty. Rings are
 // coalesced through the txDoorbell latch — if one is already pending, the
 // processor will pick this descriptor up in the same sweep.
+//
+//unetlint:hotpath doorbell ring; runs on every user-level send
 func (d *Device) KickTx(ep *unet.Endpoint) {
 	d.stats.Doorbells++
 	if d.txDoorbell {
@@ -499,6 +503,8 @@ func (d *Device) sendCells(p *sim.Proc, cells []atm.Cell, cursor time.Duration) 
 // into free-queue buffers on completion. Mid-PDU cells have no observable
 // effect, so their cost is pure cursor arithmetic; the process synchronizes
 // to the cursor only when a completed (or failed) PDU reaches an endpoint.
+//
+//unetlint:hotpath per-cell receive demux + SAR; the steady-state receive path
 func (d *Device) processCell(p *sim.Proc, c atm.Cell, cursor time.Duration) time.Duration {
 	d.stats.CellsIn++
 	ent := d.route(c.VCI)
@@ -620,13 +626,9 @@ func (d *Device) deliverBuffered(ent *vciEntry, payload []byte) {
 // --- unet.DescRecycler (DESIGN.md §10) ---
 
 // RecycleInline returns a consumed descriptor's inline slab to the arena.
-//
-//unetlint:allow costcharge recycling is free: buffer bookkeeping the real NI does not charge the data path for
 func (d *Device) RecycleInline(buf []byte) { d.arena.PutBuf(buf) }
 
 // RecycleOffsets returns a consumed descriptor's offset list to its pool.
-//
-//unetlint:allow costcharge recycling is free: buffer bookkeeping the real NI does not charge the data path for
 func (d *Device) RecycleOffsets(offs []int) { d.offPool.PutOffsets(offs) }
 
 // ArenaStats exposes the payload-slab pool counters (tests use Live to

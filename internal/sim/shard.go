@@ -94,28 +94,32 @@ type pairKey struct{ src, dst int }
 type Group struct {
 	root      *Engine
 	shards    []*Engine
-	lookahead time.Duration                // global floor from ObserveLookahead
-	pairLA    map[pairKey]time.Duration    // direct per-pair minima
-	minLA     time.Duration                // min over every observed bound (diagnostic + fast-forward baseline)
-	exchanges [][]*Mailbox                 // per destination shard id, drained in registration order
+	lookahead time.Duration             // global floor from ObserveLookahead
+	pairLA    map[pairKey]time.Duration // direct per-pair minima
+	minLA     time.Duration             // min over every observed bound (diagnostic + fast-forward baseline)
+	exchanges [][]*Mailbox              // per destination shard id, drained in registration order
 
 	// Per-run state. la is the closed all-pairs latency matrix (laInf for
 	// unreachable). roundDirty/roundMin/horizons are written only by the
 	// barrier leader — the last shard to arrive, which runs while every
 	// other shard is stopped inside the barrier — and read by every shard
 	// after the release, so they need no atomics of their own.
-	la         [][]time.Duration
-	selfLA     []time.Duration // cheapest relay cycle through each shard
-	nextAt     []atomic.Int64
-	tAt        []int64 // leader's scratch snapshot of nextAt
+	la     [][]time.Duration
+	selfLA []time.Duration // cheapest relay cycle through each shard
+	nextAt []atomic.Int64
+	//unetlint:leaderfold leader's scratch snapshot of nextAt
+	tAt []int64
+	//unetlint:leaderfold per-shard windows computed by the fold
 	horizons   []int64
 	dirtyCount atomic.Int32
+	//unetlint:leaderfold round verdict: cross-shard traffic pending
 	roundDirty bool
-	roundMin   int64
-	barrier    *spinBarrier
-	prof       []ShardProfile
-	aborted    atomic.Bool
-	failure    atomic.Value // string
+	//unetlint:leaderfold round verdict: earliest pending event
+	roundMin int64
+	barrier  *spinBarrier
+	prof     []ShardProfile
+	aborted  atomic.Bool
+	failure  atomic.Value // string
 }
 
 // NewShard creates a new shard engine attached to e's group, creating the
@@ -347,8 +351,8 @@ func (g *Group) run(limit time.Duration) time.Duration {
 	}
 	if g.nextAt == nil || len(g.nextAt) != n {
 		g.nextAt = make([]atomic.Int64, n)
-		g.tAt = make([]int64, n)
-		g.horizons = make([]int64, n)
+		g.tAt = make([]int64, n)      //unetlint:allow barrierstate setup-phase allocation before any shard goroutine exists; no barrier is live
+		g.horizons = make([]int64, n) //unetlint:allow barrierstate setup-phase allocation before any shard goroutine exists; no barrier is live
 	}
 	if g.prof == nil || len(g.prof) != n {
 		g.prof = make([]ShardProfile, n)

@@ -97,7 +97,7 @@ func NewWithScheduler(seed int64, kind SchedulerKind) *Engine {
 	e := &Engine{
 		parked: make(chan struct{}),
 		procs:  make(map[*Proc]struct{}),
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rand.New(rand.NewSource(seed)), //unetlint:allow seedflow the engine master stream IS the root every derived stream hangs off; it is seeded once, directly from the caller's plan seed
 	}
 	if kind == SchedulerWheel {
 		e.wheel = newWheel()

@@ -80,6 +80,8 @@ func tick(at time.Duration) uint64 { return uint64(at) >> granBits }
 
 // insert links ev into the slot for its firing time. Caller guarantees
 // tick(ev.at) > w.cur.
+//
+//unetlint:hotpath timer arm; runs on every scheduled event
 func (w *wheel) insert(ev *event) {
 	t := tick(ev.at)
 	x := t ^ w.cur
@@ -102,6 +104,8 @@ func (w *wheel) insert(ev *event) {
 }
 
 // unlink removes a wheel-resident event from its slot in O(1).
+//
+//unetlint:hotpath timer cancel; runs on every retired or re-armed timer
 func (w *wheel) unlink(ev *event) {
 	idx := ev.wslot
 	if ev.prev != nil {

@@ -124,7 +124,7 @@ func (u *UAM) handleStore(p *sim.Proc, pe *peer, h header, data []byte) {
 		if fn := u.handlers[h.handler]; fn != nil {
 			prev := u.replyTo
 			u.replyTo = pe
-			fn(u, p, pe.node, arg, payload)
+			fn(u, p, pe.node, arg, payload) //unetlint:allow hotpathalloc user-registered store handler; what user code allocates is the user's budget, not the transport's
 			u.replyTo = prev
 		}
 	}

@@ -20,6 +20,8 @@ func (pe *peer) outstanding() int { return seqDiff(pe.nextSeq, pe.ackedTo) }
 // or the retransmit timer fires (§5.1.2: "the sender polls for incoming
 // messages until there is space in the send window or until a time-out
 // occurs and all unacknowledged messages are retransmitted").
+//
+//unetlint:hotpath UAM reliable send; the steady-state transmit path
 func (u *UAM) sendReliable(p *sim.Proc, pe *peer, typ, handler uint8, arg uint32, data []byte) error {
 	if len(data) > u.cfg.BulkMax {
 		return ErrTooLong
@@ -126,6 +128,8 @@ func (u *UAM) sendControl(p *sim.Proc, pe *peer, typ uint8) {
 // where our own outgoing messages piggyback the cumulative ack — explicit
 // acks are only worth their NIC slot when the node is idle (Poll/PollWait)
 // or stalled on a full window (pollOrTimeout).
+//
+//unetlint:hotpath UAM receive drain; the steady-state receive path
 func (u *UAM) drainIncoming(p *sim.Proc) {
 	if u.draining {
 		return
@@ -451,7 +455,7 @@ func (u *UAM) dispatch(p *sim.Proc, pe *peer, h header, data []byte) {
 		}
 		prev := u.replyTo
 		u.replyTo = pe
-		fn(u, p, pe.node, h.arg, data)
+		fn(u, p, pe.node, h.arg, data) //unetlint:allow hotpathalloc user-registered request handler; what user code allocates is the user's budget, not the transport's
 		u.replyTo = prev
 	case typeReply:
 		u.stats.ReplyRecv++
@@ -461,7 +465,7 @@ func (u *UAM) dispatch(p *sim.Proc, pe *peer, h header, data []byte) {
 		}
 		prevR := u.inReply
 		u.inReply = true
-		fn(u, p, pe.node, h.arg, data)
+		fn(u, p, pe.node, h.arg, data) //unetlint:allow hotpathalloc user-registered reply handler; what user code allocates is the user's budget, not the transport's
 		u.inReply = prevR
 	case typeStore:
 		u.stats.StoreSegs++

@@ -4,7 +4,7 @@
 # mirrors the GitHub Actions workflow.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
 FUZZTIME ?= 10s
 
 # Pinned external linter versions (kept in sync with .github/workflows/ci.yml).
@@ -29,15 +29,17 @@ race:
 	$(GO) test -race ./internal/nic/...
 	GOMAXPROCS=4 $(GO) test -race -run 'Golden' ./internal/experiments/
 
-# raceshards is the dedicated shard-sweep race job: the whole window
-# protocol (per-pair lookahead, fused barriers, parking, fast-forward) under
-# the race detector with real parallelism pinned at GOMAXPROCS=4.
+# raceshards is the dedicated shard-sweep race job: both synchronization
+# protocols (neighbor-synchronized windows and the barrier reference — SPSC
+# rings, published clocks, quiescence scan, per-pair lookahead, fused
+# barriers, parking, fast-forward) under the race detector with real
+# parallelism pinned at GOMAXPROCS=4.
 raceshards:
-	GOMAXPROCS=4 $(GO) test -race -run 'TestShard' ./internal/sim/ ./internal/fabric/ ./internal/testbed/
-	GOMAXPROCS=4 $(GO) test -race -run 'TestGoldenShardSweep|TestGoldenFaultDeterminism' ./internal/experiments/
+	GOMAXPROCS=4 $(GO) test -race -run 'TestShard|TestSPSC' ./internal/sim/ ./internal/fabric/ ./internal/testbed/
+	GOMAXPROCS=4 $(GO) test -race -run 'TestGoldenShardSweep|TestGoldenSyncSweep|TestGoldenFaultDeterminism' ./internal/experiments/
 
 shardcheck:
-	GOMAXPROCS=4 $(GO) test -run 'TestGoldenShardSweep' ./internal/experiments/
+	GOMAXPROCS=4 $(GO) test -run 'TestGoldenShardSweep|TestGoldenSyncSweep' ./internal/experiments/
 	$(GO) test -run 'TestSharded' ./internal/testbed/
 
 # alloccheck proves the steady-state data path allocates nothing per
@@ -108,4 +110,4 @@ bench:
 	sh scripts/bench.sh $(BENCH_OUT)
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt BENCH_PR6.json BENCH_PR6.txt BENCH_PR7.json BENCH_PR7.txt
+	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt BENCH_PR6.json BENCH_PR6.txt BENCH_PR7.json BENCH_PR7.txt BENCH_PR9.json BENCH_PR9.txt

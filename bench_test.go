@@ -307,11 +307,12 @@ func BenchmarkAblation_EmulatedEndpoints(b *testing.B) {
 // --- Sharded execution ---
 
 // benchStorm runs the 8-host all-to-all cell storm once at the given shard
-// count and returns the total messages received (a fixed number — the storm
-// is deterministic — so any divergence shows up as a changed metric) plus
-// the run's window-protocol profile (zero for a serial run).
-func benchStorm(shards, count int) (int, sim.GroupProfile) {
-	tb := testbed.New(testbed.Config{Hosts: 8, Shards: shards})
+// count and sync protocol, and returns the total messages received (a fixed
+// number — the storm is deterministic — so any divergence shows up as a
+// changed metric) plus the run's window-protocol profile (zero for a serial
+// run).
+func benchStorm(shards, count int, kind sim.SyncKind) (int, sim.GroupProfile) {
+	tb := testbed.New(testbed.Config{Hosts: 8, Shards: shards, Sync: kind})
 	defer tb.Close()
 	mesh, err := tb.NewMesh(unet.EndpointConfig{SegmentSize: 1 << 20}, 64)
 	if err != nil {
@@ -339,18 +340,31 @@ func benchStorm(shards, count int) (int, sim.GroupProfile) {
 // it so BENCH_*.json always carries the entries — alongside the recorded
 // core counts that make an oversubscribed artifact impossible to misread).
 // The reported metrics attribute wall-clock to work vs. synchronization:
-// barrier-wait share of the shards' aggregate time, windows run, and
-// single-barrier (fused) rounds.
+// sync-wait share of the shards' aggregate time, windows run, and
+// single-barrier (fused) rounds. Sharded shapes run as sub-benchmarks under
+// both synchronization protocols (sync=neighbor, sync=barrier) so the
+// artifact records the protocols side by side.
 func benchmarkClusterSharded(b *testing.B, shards int) {
 	if shards > runtime.NumCPU() && os.Getenv("UNET_BENCH_OVERSUB") == "" {
 		b.Skipf("%d shards on %d CPUs would measure window overhead, not speedup; set UNET_BENCH_OVERSUB=1 to force", shards, runtime.NumCPU())
 	}
+	if shards <= 1 {
+		clusterStorm(b, shards, sim.SyncNeighbor) // serial: sync is ignored
+		return
+	}
+	for _, kind := range []sim.SyncKind{sim.SyncNeighbor, sim.SyncBarrier} {
+		kind := kind
+		b.Run("sync="+kind.String(), func(b *testing.B) { clusterStorm(b, shards, kind) })
+	}
+}
+
+func clusterStorm(b *testing.B, shards int, kind sim.SyncKind) {
 	b.ReportAllocs()
 	var total int
 	var prof sim.GroupProfile
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		total, prof = benchStorm(shards, 200)
+		total, prof = benchStorm(shards, 200, kind)
 	}
 	wall := time.Since(start)
 	b.ReportMetric(float64(total), "msgs")
@@ -360,7 +374,7 @@ func benchmarkClusterSharded(b *testing.B, shards int) {
 		// iteration), while wall covers all b.N iterations.
 		t := prof.Total()
 		share := 100 * float64(t.BarrierWait) * float64(b.N) / (float64(wall) * float64(n))
-		b.ReportMetric(share, "%barrier-wait")
+		b.ReportMetric(share, "%sync-wait")
 		b.ReportMetric(float64(t.Windows)/float64(n), "windows")
 		b.ReportMetric(float64(t.FusedBarriers)/float64(n), "fused")
 	}
@@ -388,16 +402,28 @@ func BenchmarkAblation_DirectAccess(b *testing.B) {
 // near the saturation knee. The virtual-time results are identical at
 // every shard count; only wall-clock and events/sec change. Shard counts
 // above the core count are skipped unless UNET_BENCH_OVERSUB=1, as for
-// the cluster benchmarks above.
+// the cluster benchmarks above; sharded shapes run under both sync
+// protocols.
 func benchmarkServe(b *testing.B, shards int) {
 	if shards > runtime.NumCPU() && os.Getenv("UNET_BENCH_OVERSUB") == "" {
 		b.Skipf("%d shards on %d CPUs would measure window overhead, not speedup; set UNET_BENCH_OVERSUB=1 to force", shards, runtime.NumCPU())
 	}
+	if shards <= 1 {
+		serveBench(b, shards, sim.SyncNeighbor) // serial: sync is ignored
+		return
+	}
+	for _, kind := range []sim.SyncKind{sim.SyncNeighbor, sim.SyncBarrier} {
+		kind := kind
+		b.Run("sync="+kind.String(), func(b *testing.B) { serveBench(b, shards, kind) })
+	}
+}
+
+func serveBench(b *testing.B, shards int, kind sim.SyncKind) {
 	b.ReportAllocs()
 	var r experiments.ServeResult
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		r = experiments.Serve(experiments.ServeConfig{Rate: 80_000, Shards: shards})
+		r = experiments.Serve(experiments.ServeConfig{Rate: 80_000, Shards: shards, Sync: kind})
 	}
 	wall := time.Since(start)
 	b.ReportMetric(float64(r.Sent), "reqs")

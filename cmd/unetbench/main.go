@@ -12,6 +12,11 @@
 //	unetbench -experiment figloss  # goodput/RTT-vs-loss sweep
 //	unetbench -experiment chaos -loss 0.01 -faultseed 7
 //	unetbench -experiment storm -shards 4 -simprof   # window profiler dump
+//	unetbench -experiment storm -shards 4 -simprof -sync barrier
+//	                                   # same storm under the PR 6 barrier
+//	                                   # protocol: compare the sync-wait share
+//	                                   # and per-edge wait ranking against the
+//	                                   # default neighbor protocol
 //	unetbench -experiment serve                      # open-loop serving sweep
 //	unetbench -experiment serve -serveclients 64 -servelogical 16384 -servebursty
 //
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"unet/internal/experiments"
+	"unet/internal/sim"
 )
 
 func main() {
@@ -38,6 +44,7 @@ func main() {
 		count    = flag.Int("count", 200, "messages per bandwidth point")
 		parallel = flag.Int("parallel", 0, "sweep-point workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		shards   = flag.Int("shards", 0, "shard engines per simulation (0 = serial, <0 = GOMAXPROCS; output is identical either way)")
+		syncMode = flag.String("sync", "neighbor", "sharded synchronization protocol: neighbor or barrier (output is identical either way)")
 		hosts    = flag.Int("hosts", 8, "storm: cluster size")
 		simprof  = flag.Bool("simprof", false, "storm: dump the per-shard window-protocol profile (wall-clock diagnostics)")
 
@@ -56,6 +63,12 @@ func main() {
 	flag.Parse()
 	experiments.MaxParallel = *parallel
 	experiments.Shards = *shards
+	syncKind, ok := sim.ParseSyncKind(*syncMode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unetbench: unknown -sync %q (have neighbor, barrier)\n", *syncMode)
+		os.Exit(2)
+	}
+	experiments.Sync = syncKind
 
 	sc := experiments.QuickScale()
 	if *paper {
@@ -103,14 +116,15 @@ func main() {
 					fmt.Println("simprof: serial run — no shard group; rerun with -shards ≥ 2")
 					return
 				}
-				fmt.Printf("simprof (GOMAXPROCS=%d NumCPU=%d, wall %v):\n%s",
-					runtime.GOMAXPROCS(0), runtime.NumCPU(), wall.Round(time.Microsecond), prof)
-				// Barrier-wait share: fraction of the shards' aggregate
-				// wall-clock budget spent synchronizing rather than simulating.
+				fmt.Printf("simprof (sync=%v GOMAXPROCS=%d NumCPU=%d, wall %v):\n%s",
+					syncKind, runtime.GOMAXPROCS(0), runtime.NumCPU(), wall.Round(time.Microsecond), prof)
+				// Sync-wait share: fraction of the shards' aggregate
+				// wall-clock budget spent synchronizing (barrier crossings or
+				// neighbor stalls) rather than simulating.
 				total := prof.Total()
 				share := 100 * float64(total.BarrierWait) / (float64(wall) * float64(len(prof.Shards)))
-				fmt.Printf("barrier-wait share: %.1f%% of %d shards × %v wall\n",
-					share, len(prof.Shards), wall.Round(time.Microsecond))
+				fmt.Printf("sync-wait share: %.1f%% of %d shards × %v wall (sync=%v)\n",
+					share, len(prof.Shards), wall.Round(time.Microsecond), syncKind)
 			}
 		},
 		"serve": func() {
@@ -134,6 +148,7 @@ func main() {
 				Duration:       *serveDuration,
 				Bursty:         *serveBursty,
 				Shards:         n,
+				Sync:           syncKind,
 			}
 			report, results := experiments.ServeSweep(base, loads)
 			fmt.Print(report)

@@ -143,15 +143,16 @@ type Link struct {
 	train []atm.Cell // scratch slice reused across DeliverTrain calls
 
 	// Cross-shard mode (see NewCrossLink): the transmit side keeps the
-	// serialization arithmetic (nextFree, stats, loss) but hands in-flight
-	// cells to outbox instead of the local ring; peer is the receive half in
-	// the destination shard, which owns the ring, the delivery events and
-	// the train grouping. A local link has peer == nil.
-	peer   *Link
-	outbox []inflight
-	// mbox is the group mailbox handle for a tx half: marked pending on the
-	// first outbox append of a window so clean rounds can skip the drain
-	// phase (and its second barrier) entirely.
+	// serialization arithmetic (nextFree, stats, loss) but pushes in-flight
+	// cells into a lock-free SPSC ring instead of the local pend ring; peer
+	// is the receive half in the destination shard, which owns the pend
+	// ring, the delivery machinery and (in barrier mode) the train
+	// grouping. A local link has peer == nil.
+	peer *Link
+	ring *sim.SPSC[inflight]
+	// mbox is the group mailbox handle for a tx half: marked pending on
+	// ring pushes so barrier-mode clean rounds can skip the drain phase (a
+	// no-op under the neighbor protocol, where consumers poll the ring).
 	mbox *sim.Mailbox
 }
 
@@ -192,7 +193,7 @@ func NewCrossLink(src, dst *sim.Engine, name string, p LinkParams, sink CellSink
 	}
 	peer := &Link{e: dst, name: name, p: p, sink: sink}
 	peer.tsink, _ = sink.(TrainSink)
-	l := &Link{e: src, name: name, p: p, peer: peer}
+	l := &Link{e: src, name: name, p: p, peer: peer, ring: sim.NewSPSC[inflight](256)}
 	l.mbox = g.AddExchangeFrom(src, dst, crossExchange{l})
 	g.ObserveLookaheadBetween(src, dst, p.CellTime+p.Propagation)
 	return l
@@ -203,26 +204,65 @@ func NewCrossLink(src, dst *sim.Engine, name string, p LinkParams, sink CellSink
 // shard.
 func (l *Link) Engine() *sim.Engine { return l.e }
 
-// crossExchange drains one cross-shard link's outbox into the receive half.
-// It runs on the destination shard's worker goroutine at a window barrier
-// (the group's atomics order it after the transmitter's appends), so the
-// injected delivery events receive deterministic sequence numbers.
+// crossExchange moves one cross-shard link's ring traffic into the receive
+// half. It always runs on the destination shard's worker goroutine; the
+// synchronization that orders it after the transmitter's pushes depends on
+// the group's sync protocol, and the exchange implements sim.CrossSource
+// so the neighbor protocol can drive it.
+//
+// Both protocols deliver through the same machinery: Drain stages ring
+// entries into the receive half's pend ring and arms the classic delivery
+// event, so arrivals replay with the delivery times, train grouping and
+// same-instant event ordering a local link would have produced —
+// byte-identical across serial, barrier and neighbor runs. The protocols
+// differ only in when Drain runs and what it may take: at a window barrier
+// with the producer stopped, ring and spill alike are safe to move
+// (PopQuiescent); at a neighbor-mode round top the producer keeps running,
+// so only the published ring entries are taken (Pop) and spilled cells
+// stay with the producer until it flushes them itself.
 type crossExchange struct{ l *Link }
 
 func (x crossExchange) Drain() {
 	l := x.l
-	if len(l.outbox) == 0 {
-		return
-	}
 	peer := l.peer
-	for _, f := range l.outbox {
-		peer.push(f)
-		if !peer.armed {
-			peer.armed = true
-			peer.e.AtArg(peer.pend[peer.head].arrive, linkFire, peer)
+	if l.mbox.Neighbor() {
+		for {
+			f, ok := l.ring.Pop()
+			if !ok {
+				break
+			}
+			peer.push(f)
+		}
+	} else {
+		for {
+			f, ok := l.ring.PopQuiescent()
+			if !ok {
+				break
+			}
+			peer.push(f)
 		}
 	}
-	l.outbox = l.outbox[:0]
+	if peer.n > 0 && !peer.armed {
+		peer.armed = true
+		peer.e.AtArg(peer.pend[peer.head].arrive, linkFire, peer)
+	}
+}
+
+// Pending reports outstanding ring or spill traffic (any shard).
+func (x crossExchange) Pending() bool { return x.l.ring.Pending() }
+
+// SpillPending reports producer-side spilled traffic (any shard).
+func (x crossExchange) SpillPending() bool { return x.l.ring.SpillLen() > 0 }
+
+// FlushSpill retries moving spilled cells into the ring (producer shard
+// only).
+func (x crossExchange) FlushSpill() bool { return x.l.ring.FlushSpill() }
+
+// SpillBound reports the arrival time of the oldest spilled cell, which
+// caps how far the producer may publish (producer shard only).
+func (x crossExchange) SpillBound() (time.Duration, bool) {
+	f, ok := x.l.ring.SpillHead()
+	return f.arrive, ok
 }
 
 // Params returns the link's timing parameters.
@@ -303,14 +343,12 @@ func (l *Link) SendAt(c atm.Cell, start time.Duration) time.Duration {
 }
 
 // enqueue hands an in-flight cell to the delivery machinery: the
-// cross-shard outbox on a tx half, the local ring (arming the delivery
-// event) otherwise.
+// cross-shard SPSC ring on a tx half, the local pend ring (arming the
+// delivery event) otherwise.
 func (l *Link) enqueue(c atm.Cell, arrive time.Duration) {
 	if l.peer != nil {
-		if len(l.outbox) == 0 {
-			l.mbox.MarkPending()
-		}
-		l.outbox = append(l.outbox, inflight{c: c, arrive: arrive})
+		l.mbox.MarkPending()
+		l.ring.Push(inflight{c: c, arrive: arrive})
 		return
 	}
 	l.push(inflight{c: c, arrive: arrive})

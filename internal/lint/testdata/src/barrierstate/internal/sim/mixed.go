@@ -1,0 +1,27 @@
+package sim
+
+// The closure rule is ALL callers, iterated to a fixpoint: a helper is a
+// leader only when every path to it starts at a `leader func()` argument.
+// tally below is reached both from a leader fold (leadEntry → leadFold →
+// tally) and from a plain shard path (shardPath → tally), so it is outside
+// the set and its write must be flagged — even though a leader does call it.
+
+func (g *group) leadEntry(b *barrier) {
+	b.wait(g.leadFold)
+}
+
+// leadFold is a leader entry (passed at the `leader func()` parameter); the
+// call below does NOT pull tally into the set because tally has a
+// non-leader caller too.
+func (g *group) leadFold() {
+	g.tally()
+}
+
+// shardPath is ordinary per-shard code: not a leader, taints tally.
+func (g *group) shardPath() {
+	g.tally()
+}
+
+func (g *group) tally() {
+	g.roundMin++ // want "write to leader-folded field"
+}

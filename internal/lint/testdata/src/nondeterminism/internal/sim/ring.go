@@ -1,0 +1,84 @@
+// ring.go mirrors the neighbor-synchronized protocol's cross-shard
+// delivery path: an SPSC ring drained at the consumer's round tops. The
+// drain is deterministic by construction — pops follow the ring's
+// head/tail arithmetic (FIFO in push order) and delivery times are the
+// messages' virtual arrival stamps — so goroutine interleaving can change
+// WHEN a message becomes visible to the consumer, never the order or the
+// virtual time it is delivered at. The clean drain therefore needs no
+// annotation and must produce zero diagnostics; the variants that let host
+// time steer the drain are the regressions the analyzer must catch.
+package sim
+
+import "time"
+
+type ringMsg struct {
+	at  time.Duration // virtual arrival stamp, assigned by the producer
+	seq uint64
+}
+
+// spscRing is the fixture's stand-in for sim.SPSC: a power-of-two buffer
+// with head/tail cursors (the real ring's atomics don't change the
+// ordering argument — visibility timing is the only thing they affect).
+type spscRing struct {
+	buf  [8]ringMsg
+	head uint64
+	tail uint64
+}
+
+func (r *spscRing) pop() (ringMsg, bool) {
+	if r.head == r.tail {
+		return ringMsg{}, false
+	}
+	m := r.buf[r.head&7]
+	r.head++
+	return m, true
+}
+
+type ringGroup struct {
+	prof profile
+}
+
+func (g *ringGroup) schedule(at time.Duration, seq uint64) {}
+
+// drain stages every visible ring message as an engine event: pure ring
+// arithmetic plus virtual arrival stamps. However the OS interleaves
+// producer and consumer, the messages come out in push order with
+// producer-assigned times — nothing here can observe the interleaving, so
+// no annotation is needed.
+func (g *ringGroup) drain(r *spscRing) {
+	for {
+		m, ok := r.pop()
+		if !ok {
+			break
+		}
+		g.schedule(m.at, m.seq)
+	}
+}
+
+// drainTimed cuts the drain off by host time — banned: which messages make
+// this round now depends on the OS scheduler, and the set of staged events
+// (hence virtual behavior) differs run to run.
+func (g *ringGroup) drainTimed(r *spscRing, budget time.Duration) {
+	t0 := time.Now() // want `time\.Now reads the wall clock`
+	for {
+		if time.Since(t0) > budget { // want `time\.Since reads the wall clock`
+			break
+		}
+		m, ok := r.pop()
+		if !ok {
+			break
+		}
+		g.schedule(m.at, m.seq)
+	}
+}
+
+// stallProfiled mirrors waitNeighbor: a blocked shard may time its stall
+// for the profiler, but only under an annotation declaring the reading
+// diagnostic-only.
+//
+//unetlint:allow nondeterminism wall-clock stall profiling only; never feeds virtual time or event order
+func (g *ringGroup) stallProfiled(wait func()) {
+	t0 := time.Now()
+	wait()
+	g.prof.barrierWait += time.Since(t0)
+}

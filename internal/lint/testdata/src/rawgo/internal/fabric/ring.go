@@ -1,0 +1,39 @@
+// ring.go covers the cross-shard ring producer idiom. Model code that
+// hits a full ring must not spin the OS scheduler until the consumer
+// catches up — that couples virtual progress to host scheduling. The
+// correct shape is the one internal/sim's SPSC uses: overflow into a
+// producer-private spill slice and let the window protocol flush it.
+package fabric
+
+import "runtime"
+
+type ringBuf struct {
+	buf   [8]uint64
+	head  uint64
+	tail  uint64
+	spill []uint64
+}
+
+func (r *ringBuf) full() bool { return r.tail-r.head == uint64(len(r.buf)) }
+
+// busyProducer yields to the OS scheduler until the consumer frees a
+// slot — banned: delivery now depends on how the host interleaves the
+// two goroutines.
+func (r *ringBuf) busyProducer(v uint64) {
+	for r.full() {
+		runtime.Gosched() // want `runtime\.Gosched outside the sim shard runtime`
+	}
+	r.buf[r.tail&7] = v
+	r.tail++
+}
+
+// spillProducer is the sanctioned shape: a full ring overflows into a
+// producer-private slice, no scheduler steering, no primitives.
+func (r *ringBuf) spillProducer(v uint64) {
+	if r.full() || len(r.spill) > 0 {
+		r.spill = append(r.spill, v)
+		return
+	}
+	r.buf[r.tail&7] = v
+	r.tail++
+}

@@ -1,0 +1,563 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Neighbor-synchronized conservative windows (the SyncNeighbor protocol).
+//
+// The barrier protocol in shard.go stops every shard at every round so a
+// leader can fold the global minimum and hand out horizons. That global
+// rendezvous is the dominant cost of dense parallel runs — simprof put it
+// at ~74% of wall time on the 8-host/4-shard storm — and it charges even
+// pairs of shards that never talk. This file replaces it on the common
+// path with Chandy–Misra–Bryant-style point-to-point synchronization
+// specialized to the group's static exchange graph:
+//
+//   - Every shard i owns a published clock pub[i]: a promise that no
+//     message it has not yet made visible will arrive anywhere before
+//     pub[i] + L(i→dst). It advances the clock at its own round tops,
+//     with no coordination beyond one atomic store and a wake to its
+//     out-neighbors.
+//   - Shard i's window horizon is computed from its direct in-neighbors
+//     alone: H_i = min over in-edges (pub[j] + L(j→i)). Shards with no
+//     path between them never wait on each other; a sparse topology
+//     synchronizes only where influence can actually flow.
+//   - Cross-shard messages travel through lock-free SPSC rings (spsc.go),
+//     pushed at send time by the producing shard and drained by the
+//     destination at its round tops. Delivery happens through the
+//     engine's cross intake (below), which merges ring heads into the
+//     event loop by (arrival time, exchange registration order) — the
+//     same deterministic rule the barrier protocol's drain order
+//     implements, so goldens stay byte-identical across both modes and
+//     every shard count.
+//
+// Safety invariant. When shard i runs a window bounded by H_i, every
+// message that could arrive before H_i is already visible in its intake:
+// producer j pushed the message to the ring before publishing any
+// pub[j] ≥ send time (pushes precede the publish store in program order,
+// and Go's sequentially-consistent atomics make the publish the release
+// edge), and arrival = send + link latency ≥ send + L(j→i), so a message
+// still invisible after i reads pub[j] has arrival ≥ pub[j] + L(j→i) ≥
+// H_i. A full ring breaks the "pushed at send time" half of this, so a
+// producer with spilled messages caps its published clock at
+// spill-head arrival − L for the affected edge until the spill flushes
+// (SpillBound); the consumer then cannot open a window past the invisible
+// message.
+//
+// Progress. A purely neighbor-driven horizon can creep in lookahead-sized
+// steps across idle stretches (the classic CMB lookahead creep). The
+// escape hatch reuses the group's quiescence machinery: when every shard
+// is simultaneously blocked, the last one to block scans the rings and —
+// if all are empty — folds the global minimum next-event time m. If m is
+// beyond the run limit the group is done; otherwise m becomes gmin, a
+// floor every shard may add its minimum in-edge lookahead to
+// (H_i ≥ gmin + min L(*→i) is safe because any future message for i
+// originates at an event ≥ m). That single fold per idle gap replaces the
+// per-round folds of the barrier protocol and restores the fast-forward
+// behavior across quiet phases.
+//
+// Termination mirrors the same scan: all shards blocked + all rings empty
+// + global minimum beyond the limit ⇒ done flag + wake-all. The scan runs
+// under a mutex off the hot path; the hot path itself crosses no locks —
+// publishes are atomic stores, waits are epoch-counted spins that park on
+// a per-shard condition variable only after a yield budget, exactly like
+// the spin barrier's ladder.
+
+// SyncKind selects the synchronization protocol of a shard group run.
+type SyncKind uint8
+
+const (
+	// SyncNeighbor (the default) runs the neighbor-synchronized window
+	// protocol above: shards coordinate point-to-point over the exchange
+	// graph's edges with no global barrier on the common path. Requires
+	// every exchange to be registered with a known producer
+	// (AddExchangeFrom) and to implement CrossSource; groups that do not
+	// qualify fall back to SyncBarrier behavior for the run.
+	SyncNeighbor SyncKind = iota
+	// SyncBarrier is the PR 6 reference protocol: per-round global
+	// barriers with a leader-folded minimum and per-pair horizon matrix.
+	// Kept as the differential-testing twin — a run under SyncBarrier must
+	// be byte-identical to the same run under SyncNeighbor.
+	SyncBarrier
+)
+
+// String names the sync kind the way unetbench -sync spells it.
+func (k SyncKind) String() string {
+	switch k {
+	case SyncNeighbor:
+		return "neighbor"
+	case SyncBarrier:
+		return "barrier"
+	}
+	return "unknown"
+}
+
+// ParseSyncKind parses unetbench -sync spellings.
+func ParseSyncKind(s string) (SyncKind, bool) {
+	switch s {
+	case "neighbor":
+		return SyncNeighbor, true
+	case "barrier":
+		return SyncBarrier, true
+	}
+	return SyncNeighbor, false
+}
+
+// SetSync selects the synchronization protocol for subsequent Run/RunUntil
+// calls on the group. Must not be called while a run is in progress.
+func (g *Group) SetSync(k SyncKind) { g.sync = k }
+
+// SyncMode reports the configured synchronization protocol.
+func (g *Group) SyncMode() SyncKind { return g.sync }
+
+// CrossSource is the neighbor-mode contract of an exchange: a cross-shard
+// channel whose producer side is a lock-free SPSC ring and whose consumer
+// side stages arrivals into the destination engine as ordinary events.
+//
+// Drain (from Exchange, called only by the destination's worker) moves
+// published ring traffic into consumer-side staging and arms delivery
+// through the destination engine's own event machinery — cross arrivals
+// are just events there, so merge order with local work is the event
+// heap's (timestamp, sequence) order in every sync mode.
+//
+// Producer-shard methods (called only by the source's worker): FlushSpill
+// retries moving spilled messages into the ring; SpillBound reports the
+// arrival time of the oldest still-spilled message, bounding how far the
+// producer may publish.
+//
+// Pending and SpillPending read only atomics and may be called from any
+// shard — the group's quiescence scan uses them.
+type CrossSource interface {
+	Exchange
+	Pending() bool
+	SpillPending() bool
+	FlushSpill() bool
+	SpillBound() (time.Duration, bool)
+}
+
+// inEdge is a direct influence edge into a shard: messages from src reach
+// this shard no earlier than pub[src] + la.
+type inEdge struct {
+	src int
+	la  int64
+}
+
+// outEdge is the producer-side view of one registered exchange, used to
+// flush and bound spills at publish points.
+type outEdge struct {
+	dst int
+	la  int64 // the pair's minimum latency — what the consumer's horizon uses
+	cs  CrossSource
+}
+
+// paddedClock is a published shard clock on its own cache line, so
+// neighbor polls of one shard's clock do not false-share with another's.
+type paddedClock struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// shardSignal is the per-shard wake channel of the neighbor protocol: an
+// epoch counter bumped by anyone who changes state this shard might be
+// waiting on, plus a condition variable for waiters that exhausted the
+// spin/yield ladder. The epoch is read before the waiter samples neighbor
+// state, so a publish between sampling and parking cannot be missed.
+type shardSignal struct {
+	epoch  atomic.Uint64
+	parked atomic.Bool
+	mu     sync.Mutex
+	cond   *sync.Cond
+	spin   int
+	_      [24]byte // keep adjacent signals off one cache line
+}
+
+// notify wakes shard id: bump its epoch, then — only if it is parked —
+// take its mutex to order the broadcast against a concurrent Wait entry.
+// The sequentially-consistent epoch bump before the parked load pairs with
+// the waiter's parked store before its epoch re-check (Dekker-style), so
+// either the waiter sees the new epoch or the notifier sees it parked.
+func (g *Group) notify(id int) {
+	s := &g.sigs[id]
+	s.epoch.Add(1)
+	if s.parked.Load() {
+		s.mu.Lock()
+		s.mu.Unlock() //nolint:staticcheck // empty critical section orders the broadcast after any in-flight Wait entry
+		s.cond.Broadcast()
+	}
+}
+
+// notifyAll wakes every shard (termination, gmin updates, aborts).
+func (g *Group) notifyAll() {
+	for i := range g.sigs {
+		g.notify(i)
+	}
+}
+
+// neighborCapable reports whether every registered exchange names its
+// producer and implements CrossSource — the preconditions of neighbor
+// mode. Groups with pairless or legacy exchanges run the barrier protocol
+// regardless of the configured SyncKind.
+func (g *Group) neighborCapable() bool {
+	if len(g.shards) < 2 || !g.hasExchanges() {
+		return false
+	}
+	for _, mbs := range g.exchanges {
+		for _, mb := range mbs {
+			if mb.src < 0 {
+				return false
+			}
+			if _, ok := mb.ex.(CrossSource); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// setupNeighbor builds the per-run neighbor state: the direct edge sets
+// (deterministically ordered by shard index — no map iteration), published
+// clocks, wake signals, and each destination engine's intake. It also
+// flips every mailbox into neighbor mode, which turns MarkPending into a
+// no-op (ring occupancy replaces the dirty-count protocol).
+func (g *Group) setupNeighbor() {
+	n := len(g.shards)
+	glob := int64(g.lookahead)
+
+	// Direct-edge minimum latency matrix; math.MaxInt64 = no edge. The
+	// consumer horizon and the producer spill cap must agree on each
+	// pair's latency, so both read this matrix.
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+		for j := range w[i] {
+			w[i][j] = math.MaxInt64
+		}
+	}
+	for dst, mbs := range g.exchanges {
+		for _, mb := range mbs {
+			ew := glob
+			if d, ok := g.pairLA[pairKey{mb.src, dst}]; ok {
+				ew = int64(d)
+			}
+			if ew <= 0 {
+				panic("sim: shard group has exchanges but no lookahead")
+			}
+			if ew < w[mb.src][dst] {
+				w[mb.src][dst] = ew
+			}
+		}
+	}
+
+	g.inEdges = make([][]inEdge, n)
+	g.outEdges = make([][]outEdge, n)
+	g.outNbrs = make([][]int, n)
+	g.minInLA = make([]int64, n)
+	g.inSrcs = make([][]CrossSource, n)
+	g.inSrcIDs = make([][]int, n)
+	for dst := 0; dst < n; dst++ {
+		min := int64(math.MaxInt64)
+		for src := 0; src < n; src++ {
+			if w[src][dst] == math.MaxInt64 {
+				continue
+			}
+			g.inEdges[dst] = append(g.inEdges[dst], inEdge{src: src, la: w[src][dst]})
+			g.outNbrs[src] = append(g.outNbrs[src], dst)
+			if w[src][dst] < min {
+				min = w[src][dst]
+			}
+		}
+		g.minInLA[dst] = min
+		// Consumer-side exchange handles, in registration order — the order
+		// round-top drains stage and arm arrivals, and hence the order
+		// same-instant cross deliveries enter the destination's event heap.
+		for _, mb := range g.exchanges[dst] {
+			cs := mb.ex.(CrossSource)
+			g.inSrcs[dst] = append(g.inSrcs[dst], cs)
+			g.inSrcIDs[dst] = append(g.inSrcIDs[dst], mb.src)
+			g.outEdges[mb.src] = append(g.outEdges[mb.src], outEdge{dst: dst, la: w[mb.src][dst], cs: cs})
+		}
+	}
+
+	if len(g.pub) != n {
+		g.pub = make([]paddedClock, n)
+		g.sigs = make([]shardSignal, n)
+		for i := range g.sigs {
+			g.sigs[i].cond = sync.NewCond(&g.sigs[i].mu)
+		}
+	}
+	spin := 16
+	if runtime.GOMAXPROCS(0) >= n {
+		spin = 1024
+	}
+	for i := range g.sigs {
+		g.sigs[i].spin = spin
+		g.pub[i].v.Store(0)
+	}
+	g.waiting.Store(0)
+	g.gmin.Store(0)
+	g.ndone.Store(false)
+	for i := range g.prof {
+		if len(g.prof[i].EdgeWait) != n {
+			g.prof[i].EdgeWait = make([]time.Duration, n)
+		}
+	}
+	for _, mbs := range g.exchanges {
+		for _, mb := range mbs {
+			mb.neighbor = true
+		}
+	}
+}
+
+// setupBarrier reverts neighbor-mode plumbing before a barrier-protocol
+// run. A mailbox leaving neighbor mode is marked pending unconditionally:
+// its ring may hold messages a previous neighbor run left unpublished or
+// undrained beyond its limit, and the barrier protocol only drains marked
+// mailboxes.
+func (g *Group) setupBarrier() {
+	for _, mbs := range g.exchanges {
+		for _, mb := range mbs {
+			if mb.neighbor {
+				mb.neighbor = false
+				mb.MarkPending()
+			}
+		}
+	}
+}
+
+// runShardNeighbor is the per-shard worker loop of the neighbor protocol.
+// Each round: snapshot the wake epoch, compute the horizon from direct
+// in-neighbor clocks (lifted by the quiescence floor when one is set),
+// drain in-rings into the engine as armed delivery events, publish own
+// progress, then either run a window up to the horizon or wait for a
+// neighbor to move.
+func (g *Group) runShardNeighbor(id int, limit time.Duration) {
+	e := g.shards[id]
+	prof := &g.prof[id]
+	sig := &g.sigs[id]
+	stop := stopFor(limit)
+	in := g.inEdges[id]
+	srcs := g.inSrcs[id]
+	srcIDs := g.inSrcIDs[id]
+	out := g.outEdges[id]
+	minIn := g.minInLA[id]
+	for {
+		if g.ndone.Load() {
+			e.alignNow(limit)
+			return
+		}
+		// The epoch snapshot precedes every neighbor-state read below: any
+		// relevant change after this point bumps the epoch and aborts a
+		// subsequent wait immediately.
+		ep := sig.epoch.Load()
+
+		// Horizon from direct in-neighbors; remember the binding edge for
+		// the per-edge wait attribution.
+		h := int64(math.MaxInt64)
+		blockSrc := -1
+		for _, ed := range in {
+			if hv := satAdd(g.pub[ed.src].v.Load(), ed.la); hv < h {
+				h, blockSrc = hv, ed.src
+			}
+		}
+		floored := false
+		if len(in) > 0 && minIn != math.MaxInt64 {
+			if f := satAdd(g.gmin.Load(), minIn); f > h {
+				h = f
+				floored = true
+			}
+		}
+
+		// Move ring traffic into the engine: drains stage published cells
+		// and arm their delivery events, so the heap peek below already
+		// covers cross arrivals. A producer stuck on a full ring is woken so
+		// it can flush the freed space at its next publish point.
+		for i, s := range srcs {
+			if s.Pending() {
+				s.Drain()
+				prof.Drains++
+				if s.SpillPending() {
+					g.notify(srcIDs[i])
+				}
+			}
+		}
+
+		// Earliest pending work, cross arrivals included.
+		t := noEvent
+		if ev := e.peek(); ev != nil {
+			t = int64(ev.at)
+		}
+		g.nextAt[id].Store(t)
+
+		// Publish progress: nothing new can leave this shard before its next
+		// event, nor cross an edge whose spill still hides messages. The
+		// store is this shard's release edge for all ring pushes so far.
+		p := t
+		if h < p {
+			p = h
+		}
+		for _, oe := range out {
+			if !oe.cs.FlushSpill() {
+				if b, ok := oe.cs.SpillBound(); ok {
+					if c := int64(b) - oe.la; c < p {
+						p = c
+					}
+				}
+			}
+		}
+		if p > g.pub[id].v.Load() {
+			g.pub[id].v.Store(p)
+			for _, d := range g.outNbrs[id] {
+				g.notify(d)
+			}
+		}
+
+		bound := stop
+		if h < int64(stop) {
+			bound = time.Duration(h)
+		}
+		if t < int64(bound) {
+			if floored {
+				prof.FastForwards++
+			}
+			n0 := e.nsteps
+			e.runWindow(bound)
+			prof.Windows++
+			if ev := e.nsteps - n0; ev > 0 {
+				prof.Events += ev
+			} else {
+				prof.EmptyWindows++
+			}
+			continue
+		}
+		g.waitNeighbor(prof, sig, blockSrc, ep, limit)
+	}
+}
+
+// waitNeighbor blocks a shard whose horizon has caught up with its work:
+// spin briefly, yield for a while, then park on the shard's signal until a
+// neighbor publishes, the quiescence floor moves, the run completes, or
+// the group aborts. The n-th shard to block runs the quiescence scan. The
+// wall-clock reads exist only for the profiler; nothing derived from them
+// may feed virtual time.
+//
+//unetlint:allow nondeterminism wall-clock stall profiling only; never feeds virtual time or event order
+func (g *Group) waitNeighbor(prof *ShardProfile, sig *shardSignal, blockSrc int, ep uint64, limit time.Duration) {
+	t0 := time.Now()
+	prof.Stalls++
+	// The generation bump must precede the waiting increment: a scan that
+	// sees waiting==n afterwards is guaranteed to also see this entry's
+	// bump, so an escape/re-enter cycle can never restore waiting==n
+	// without moving the generation (the ABA the scan guards against).
+	g.waitGen.Add(1)
+	if g.waiting.Add(1) == int32(len(g.shards)) {
+		g.quiescentScan(limit)
+	}
+	for spins := 0; ; spins++ {
+		if sig.epoch.Load() != ep || g.ndone.Load() {
+			break
+		}
+		if g.aborted.Load() {
+			g.waiting.Add(-1)
+			panic("sim: peer shard failed")
+		}
+		if spins < sig.spin {
+			continue
+		}
+		if spins < sig.spin+yieldBudget {
+			runtime.Gosched()
+			continue
+		}
+		sig.mu.Lock()
+		sig.parked.Store(true)
+		for sig.epoch.Load() == ep && !g.ndone.Load() && !g.aborted.Load() {
+			sig.cond.Wait()
+		}
+		sig.parked.Store(false)
+		sig.mu.Unlock()
+	}
+	g.waiting.Add(-1)
+	d := time.Since(t0)
+	prof.BarrierWait += d
+	if blockSrc >= 0 {
+		prof.EdgeWait[blockSrc] += d
+	}
+}
+
+// quiescentScan runs when every shard is simultaneously blocked — the only
+// situation where neighbor clocks alone cannot make progress. Under the
+// scan mutex (re-verifying the all-blocked condition): if any ring still
+// holds traffic, wake the parties and let the drain/flush resolve it;
+// otherwise fold the global minimum next-event time. Beyond the limit (or
+// absent) ⇒ the run is complete; otherwise it becomes the quiescence
+// floor gmin, licensing every shard's horizon up to gmin + its minimum
+// in-edge lookahead — any future message originates at an event ≥ gmin.
+func (g *Group) quiescentScan(limit time.Duration) {
+	g.scanMu.Lock()
+	defer g.scanMu.Unlock()
+	// Generation snapshot BEFORE the all-blocked check: any wait entry the
+	// commit guard must detect then bumps the generation strictly between
+	// this load and the guard's re-load.
+	gen0 := g.waitGen.Load()
+	if g.ndone.Load() || g.waiting.Load() != int32(len(g.shards)) {
+		return
+	}
+	pending := false
+	for dst := range g.inSrcs {
+		for i, s := range g.inSrcs[dst] {
+			if s.Pending() {
+				pending = true
+				g.notify(dst)
+				if s.SpillPending() {
+					g.notify(g.inSrcIDs[dst][i])
+				}
+			}
+		}
+	}
+	if pending {
+		return
+	}
+	m := noEvent
+	for i := range g.nextAt {
+		if v := g.nextAt[i].Load(); v < m {
+			m = v
+		}
+	}
+	// Re-verify all-blocked before committing. The entry check is only a
+	// snapshot: a shard notified by an earlier publish may break out of its
+	// wait concurrently with this scan, drain a ring, run a window (pushing
+	// fresh cells the sweep above never saw), and even RE-ENTER the wait —
+	// restoring waiting==n. The waiting re-load catches a shard still
+	// mid-round (it decrements before touching any ring or clock); the
+	// generation re-load catches the full escape/re-enter cycle, whose
+	// entry bump lands strictly between gen0 and this load. If neither
+	// changed, no shard left the wait during the scan, so the sweep and the
+	// fold observed one frozen, consistent state. On abort the re-entering
+	// shard's own waiting.Add(1)==n triggers a fresh scan, so no wakeup is
+	// lost.
+	if g.waiting.Load() != int32(len(g.shards)) || g.waitGen.Load() != gen0 {
+		return
+	}
+	if m == noEvent || (limit >= 0 && m > int64(limit)) {
+		g.ndone.Store(true)
+		g.notifyAll()
+		return
+	}
+	if m > g.gmin.Load() {
+		g.gmin.Store(m)
+		g.notifyAll()
+		return
+	}
+	// m == gmin: the commit that set this floor already woke every shard,
+	// and the floor makes the m-owner runnable (its horizon is at least
+	// gmin + its min in-edge lookahead > m = its next event). This scan ran
+	// in the post-commit transient, before the owner was scheduled; its
+	// wakeup is in flight, so stay SILENT. Notifying here is not merely
+	// redundant — it bumps this scanner's own epoch, making it break out of
+	// its wait instantly, re-enter, and scan again: a self-sustaining hot
+	// loop that starves the runnable shard of the CPU for a full quantum.
+}

@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ringMailbox is the neighbor-capable twin of testMailbox: a cross-shard
+// channel whose producer side is an SPSC ring, implementing the full
+// CrossSource contract the way fabric's cross links do. The producer shard
+// pushes timed callbacks as it runs; the destination drains them at its
+// round tops into ordinary engine events.
+type ringMailbox struct {
+	dst  *Engine
+	mb   *Mailbox
+	ring *SPSC[shardMsg]
+}
+
+func newRingMailbox(g *Group, src, dst *Engine) *ringMailbox {
+	m := &ringMailbox{dst: dst, ring: NewSPSC[shardMsg](8)}
+	m.mb = g.AddExchangeFrom(src, dst, m)
+	return m
+}
+
+// send is called by the producing shard during its window. MarkPending is a
+// neighbor-mode no-op but keeps the fixture valid under barrier fallback.
+func (m *ringMailbox) send(at time.Duration, fn func()) {
+	m.mb.MarkPending()
+	m.ring.Push(shardMsg{at: at, fn: fn})
+}
+
+func (m *ringMailbox) Drain() {
+	if m.mb.Neighbor() {
+		for {
+			msg, ok := m.ring.Pop()
+			if !ok {
+				break
+			}
+			m.dst.At(msg.at, msg.fn)
+		}
+		return
+	}
+	for {
+		msg, ok := m.ring.PopQuiescent()
+		if !ok {
+			break
+		}
+		m.dst.At(msg.at, msg.fn)
+	}
+}
+
+func (m *ringMailbox) Pending() bool      { return m.ring.Pending() }
+func (m *ringMailbox) SpillPending() bool { return m.ring.SpillLen() > 0 }
+func (m *ringMailbox) FlushSpill() bool   { return m.ring.FlushSpill() }
+func (m *ringMailbox) SpillBound() (time.Duration, bool) {
+	msg, ok := m.ring.SpillHead()
+	return msg.at, ok
+}
+
+func TestSyncKindStrings(t *testing.T) {
+	for _, k := range []SyncKind{SyncNeighbor, SyncBarrier} {
+		got, ok := ParseSyncKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseSyncKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseSyncKind("bogus"); ok {
+		t.Fatal("ParseSyncKind accepted a bogus spelling")
+	}
+	if SyncKind(99).String() != "unknown" {
+		t.Fatalf("SyncKind(99).String() = %q", SyncKind(99).String())
+	}
+}
+
+func TestShardNeighborCrossTrafficRespectsLookahead(t *testing.T) {
+	// The neighbor-mode twin of TestShardCrossTrafficRespectsLookahead:
+	// every delivery must land at exactly the time a serial simulation
+	// would produce, with no barrier protocol underneath.
+	const flight = 10 * time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newRingMailbox(g, root, s1)
+	toRoot := newRingMailbox(g, s1, root)
+	g.ObserveLookaheadBetween(root, s1, flight)
+	g.ObserveLookaheadBetween(s1, root, flight)
+	if !g.neighborCapable() {
+		t.Fatal("ring-mailbox group not neighborCapable")
+	}
+
+	var pings, pongs []time.Duration
+	for i := 1; i <= 50; i++ {
+		at := time.Duration(i) * 100 * time.Microsecond
+		fire := at // capture
+		root.At(at, func() {
+			toS1.send(fire+flight, func() {
+				pings = append(pings, s1.Now())
+				toRoot.send(s1.Now()+flight, func() { pongs = append(pongs, root.Now()) })
+			})
+		})
+	}
+	root.Run()
+
+	if len(pings) != 50 || len(pongs) != 50 {
+		t.Fatalf("got %d pings, %d pongs, want 50 each", len(pings), len(pongs))
+	}
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i+1) * 100 * time.Microsecond
+		if pings[i] != at+flight {
+			t.Fatalf("ping %d at %v, want %v", i, pings[i], at+flight)
+		}
+		if pongs[i] != at+2*flight {
+			t.Fatalf("pong %d at %v, want %v", i, pongs[i], at+2*flight)
+		}
+	}
+	// Stalls is a neighbor-only counter: its presence proves the run used
+	// the neighbor protocol, not the barrier fallback.
+	total := g.Profile().Total()
+	if total.FusedBarriers != 0 {
+		t.Fatalf("neighbor run crossed %d fused barriers", total.FusedBarriers)
+	}
+	if total.Events == 0 || total.Drains == 0 {
+		t.Fatalf("profile did not record work: %+v", total)
+	}
+}
+
+func TestShardNeighborMatchesBarrier(t *testing.T) {
+	// The same seeded ping-pong under both protocols must yield identical
+	// traces — the differential-twin contract SetSync promises.
+	const flight = 5 * time.Microsecond
+	trial := func(kind SyncKind) []time.Duration {
+		root := New(1)
+		s1 := root.NewShard(2)
+		g := root.Group()
+		g.SetSync(kind)
+		toS1 := newRingMailbox(g, root, s1)
+		toRoot := newRingMailbox(g, s1, root)
+		g.ObserveLookaheadBetween(root, s1, flight)
+		g.ObserveLookaheadBetween(s1, root, flight)
+		var trace []time.Duration
+		for i := 1; i <= 30; i++ {
+			at := time.Duration(i) * 40 * time.Microsecond
+			fire := at
+			root.At(at, func() {
+				toS1.send(fire+flight, func() {
+					trace = append(trace, s1.Now())
+					toRoot.send(s1.Now()+flight, func() { trace = append(trace, root.Now()) })
+				})
+			})
+		}
+		root.Run()
+		return trace
+	}
+	nbr := trial(SyncNeighbor)
+	bar := trial(SyncBarrier)
+	if len(nbr) != 60 || len(bar) != 60 {
+		t.Fatalf("trace lengths: neighbor=%d barrier=%d, want 60", len(nbr), len(bar))
+	}
+	for i := range nbr {
+		if nbr[i] != bar[i] {
+			t.Fatalf("traces diverged at %d: neighbor=%v barrier=%v", i, nbr[i], bar[i])
+		}
+	}
+}
+
+func TestShardNeighborSpillBackpressure(t *testing.T) {
+	// One event pushes far more messages than the ring holds (capacity 8),
+	// forcing the spill path: the producer's published clock must stay
+	// capped until the consumer drains, and every message must still be
+	// delivered exactly once at its scheduled time.
+	const flight = time.Microsecond
+	const burst = 100
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newRingMailbox(g, root, s1)
+	g.ObserveLookaheadBetween(root, s1, flight)
+	// A return edge keeps s1 from free-running ahead of the test's window.
+	newRingMailbox(g, s1, root)
+	g.ObserveLookaheadBetween(s1, root, flight)
+
+	var got []time.Duration
+	root.At(10*time.Microsecond, func() {
+		base := root.Now() + flight
+		for i := 0; i < burst; i++ {
+			at := base + time.Duration(i)*time.Microsecond
+			toS1.send(at, func() { got = append(got, s1.Now()) })
+		}
+	})
+	root.Run()
+
+	if len(got) != burst {
+		t.Fatalf("delivered %d messages, want %d", len(got), burst)
+	}
+	for i, at := range got {
+		want := 11*time.Microsecond + time.Duration(i)*time.Microsecond
+		if at != want {
+			t.Fatalf("message %d delivered at %v, want %v", i, at, want)
+		}
+	}
+	if toS1.ring.SpillLen() != 0 || toS1.ring.Pending() {
+		t.Fatal("ring not fully drained after the run")
+	}
+}
+
+func TestShardNeighborRunUntilClockSemantics(t *testing.T) {
+	const flight = time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newRingMailbox(g, root, s1)
+	g.ObserveLookaheadBetween(root, s1, flight)
+	var n atomic.Int32
+	root.After(time.Millisecond, func() { n.Add(1) })
+	s1.After(2*time.Millisecond, func() { n.Add(1) })
+	s1.After(8*time.Millisecond, func() { n.Add(1) })
+	root.After(7*time.Millisecond, func() {
+		toS1.send(root.Now()+flight, func() { n.Add(1) })
+	})
+	end := root.RunUntil(5 * time.Millisecond)
+	if n.Load() != 2 {
+		t.Fatalf("fired %d events before limit, want 2", n.Load())
+	}
+	if end != 5*time.Millisecond {
+		t.Fatalf("RunUntil returned %v, want 5ms", end)
+	}
+	end = root.Run()
+	if n.Load() != 4 || end != 8*time.Millisecond {
+		t.Fatalf("after Run: n=%d end=%v", n.Load(), end)
+	}
+}
+
+func TestShardNeighborPanicAborts(t *testing.T) {
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newRingMailbox(g, root, s1)
+	toRoot := newRingMailbox(g, s1, root)
+	g.ObserveLookaheadBetween(root, s1, time.Microsecond)
+	g.ObserveLookaheadBetween(s1, root, time.Microsecond)
+	// Keep both shards exchanging so the healthy one is blocked in
+	// waitNeighbor when the other dies.
+	for i := 1; i <= 100; i++ {
+		at := time.Duration(i) * time.Microsecond
+		root.At(at, func() { toS1.send(root.Now()+time.Microsecond, func() {}) })
+		s1.At(at, func() { toRoot.send(s1.Now()+time.Microsecond, func() {}) })
+	}
+	s1.At(50*time.Microsecond, func() { panic("injected shard failure") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("group run did not propagate the shard panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "injected shard failure") {
+			t.Fatalf("propagated panic %v does not carry the original failure", r)
+		}
+	}()
+	root.Run()
+}
+
+func TestShardNeighborProfileAndReset(t *testing.T) {
+	const flight = time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newRingMailbox(g, root, s1)
+	toRoot := newRingMailbox(g, s1, root)
+	g.ObserveLookaheadBetween(root, s1, flight)
+	g.ObserveLookaheadBetween(s1, root, flight)
+	for i := 1; i <= 200; i++ {
+		at := time.Duration(i) * 3 * time.Microsecond
+		root.At(at, func() {
+			toS1.send(root.Now()+flight, func() {
+				toRoot.send(s1.Now()+flight, func() {})
+			})
+		})
+	}
+	root.Run()
+
+	prof := g.Profile()
+	total := prof.Total()
+	if total.Stalls == 0 {
+		t.Fatalf("no stalls recorded on a blocking ping-pong: %+v", total)
+	}
+	if total.BarrierWait == 0 {
+		t.Fatal("stalls recorded but no sync-wait time attributed")
+	}
+	// Every stall blocks on a real in-neighbor edge, so the per-edge
+	// attribution must carry the same wall-clock the totals do.
+	var edgeSum time.Duration
+	for _, p := range prof.Shards {
+		if len(p.EdgeWait) != g.Shards() {
+			t.Fatalf("shard %d EdgeWait has %d entries, want %d", p.Shard, len(p.EdgeWait), g.Shards())
+		}
+		for _, w := range p.EdgeWait {
+			edgeSum += w
+		}
+	}
+	if edgeSum == 0 {
+		t.Fatal("no wait attributed to any edge")
+	}
+	if edges := prof.WorstEdges(); len(edges) == 0 {
+		t.Fatal("WorstEdges empty despite recorded edge waits")
+	} else {
+		for i := 1; i < len(edges); i++ {
+			if edges[i].Wait > edges[i-1].Wait {
+				t.Fatal("WorstEdges not sorted worst-first")
+			}
+		}
+	}
+	if !strings.Contains(prof.String(), "edge waits") {
+		t.Fatal("profile rendering lacks the edge-wait ranking")
+	}
+
+	g.ResetProfile()
+	reset := g.Profile()
+	if tot := reset.Total(); tot.Stalls != 0 || tot.Windows != 0 || tot.BarrierWait != 0 {
+		t.Fatalf("ResetProfile left counters: %+v", tot)
+	}
+	for _, p := range reset.Shards {
+		for src, w := range p.EdgeWait {
+			if w != 0 {
+				t.Fatalf("ResetProfile left EdgeWait[%d]=%v on shard %d", src, w, p.Shard)
+			}
+		}
+	}
+}
+
+func TestShardNeighborSparseTopologyRounds(t *testing.T) {
+	// The neighbor-mode twin of TestShardPerPairWiderThanGlobalMin: r and
+	// s2 ping over slow 100µs edges while s1 sits on fast 1µs edges but
+	// stays silent. Horizons derive from direct in-neighbors plus the
+	// quiescence floor, so the idle gaps must cost a handful of rounds, not
+	// a creep in 1µs lookahead steps.
+	const slow = 100 * time.Microsecond
+	const fast = time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	s2 := root.NewShard(3)
+	g := root.Group()
+	toS2 := newRingMailbox(g, root, s2)
+	toRoot := newRingMailbox(g, s2, root)
+	g.ObserveLookaheadBetween(root, s2, slow)
+	g.ObserveLookaheadBetween(s2, root, slow)
+	// The fast pair has live channels (so the edges exist) but no traffic.
+	newRingMailbox(g, root, s1)
+	newRingMailbox(g, s1, root)
+	g.ObserveLookaheadBetween(root, s1, fast)
+	g.ObserveLookaheadBetween(s1, root, fast)
+
+	var pongs []time.Duration
+	const pings = 10
+	for i := 1; i <= pings; i++ {
+		at := time.Duration(i) * 200 * time.Microsecond
+		fire := at
+		root.At(at, func() {
+			toS2.send(fire+slow, func() {
+				toRoot.send(s2.Now()+slow, func() { pongs = append(pongs, root.Now()) })
+			})
+		})
+	}
+	root.Run()
+
+	if len(pongs) != pings {
+		t.Fatalf("got %d pongs, want %d", len(pongs), pings)
+	}
+	for i, at := range pongs {
+		want := time.Duration(i+1)*200*time.Microsecond + 2*slow
+		if at != want {
+			t.Fatalf("pong %d at %v, want %v", i, at, want)
+		}
+	}
+	prof := g.Profile().Total()
+	perShard := prof.Windows / uint64(g.Shards())
+	if perShard > 200 {
+		t.Fatalf("ran %d windows per shard; a 1µs global-window creep would need ~2000", perShard)
+	}
+	if prof.FastForwards == 0 {
+		t.Fatal("no window was enabled by the quiescence floor")
+	}
+}
+
+func TestShardNeighborFallbackPairless(t *testing.T) {
+	// A group holding a pairless exchange (unknown producer) cannot run the
+	// neighbor protocol; under SyncNeighbor it must silently fall back to
+	// the barrier protocol and still produce correct results.
+	const flight = 10 * time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newTestMailbox(g, s1) // pairless, not a CrossSource
+	g.ObserveLookahead(flight)
+	if g.neighborCapable() {
+		t.Fatal("pairless group reported neighborCapable")
+	}
+
+	var hits []time.Duration
+	for i := 1; i <= 20; i++ {
+		at := time.Duration(i) * 50 * time.Microsecond
+		fire := at
+		root.At(at, func() { toS1.send(fire+flight, func() { hits = append(hits, s1.Now()) }) })
+	}
+	root.Run()
+	if len(hits) != 20 {
+		t.Fatalf("delivered %d messages, want 20", len(hits))
+	}
+	total := g.Profile().Total()
+	if total.Stalls != 0 {
+		t.Fatalf("barrier fallback recorded neighbor stalls: %+v", total)
+	}
+	if total.Drains == 0 {
+		t.Fatalf("barrier fallback did no drains: %+v", total)
+	}
+}
+
+func TestShardNeighborModeSwitch(t *testing.T) {
+	// Alternate protocols across runs of one group: leftover ring traffic
+	// from a bounded neighbor run must survive the switch to barrier mode
+	// (setupBarrier marks neighbor mailboxes pending) and vice versa.
+	const flight = time.Microsecond
+	root := New(1)
+	s1 := root.NewShard(2)
+	g := root.Group()
+	toS1 := newRingMailbox(g, root, s1)
+	newRingMailbox(g, s1, root)
+	g.ObserveLookaheadBetween(root, s1, flight)
+	g.ObserveLookaheadBetween(s1, root, flight)
+
+	var got []time.Duration
+	record := func() { got = append(got, s1.Now()) }
+	for i := 1; i <= 10; i++ {
+		at := time.Duration(i) * 10 * time.Microsecond
+		root.At(at, func() { toS1.send(root.Now()+flight, record) })
+	}
+	root.RunUntil(35 * time.Microsecond)
+	g.SetSync(SyncBarrier)
+	root.RunUntil(75 * time.Microsecond)
+	g.SetSync(SyncNeighbor)
+	root.Run()
+
+	if len(got) != 10 {
+		t.Fatalf("delivered %d messages across mode switches, want 10", len(got))
+	}
+	for i, at := range got {
+		want := time.Duration(i+1)*10*time.Microsecond + flight
+		if at != want {
+			t.Fatalf("message %d delivered at %v, want %v", i, at, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -9,17 +10,31 @@ import (
 // ShardProfile accumulates one shard's window-protocol counters across
 // Run/RunUntil calls. All counters are maintained by the shard's own
 // worker goroutine, so the hot path pays plain increments — no atomics,
-// no allocation. The wall-clock barrier wait is diagnostic only and never
-// feeds virtual time.
+// no allocation. The wall-clock waits are diagnostic only and never feed
+// virtual time.
+//
+// Counter meanings are shared across both sync protocols where they
+// apply: BarrierWait is total synchronization wait (barrier crossings
+// under SyncBarrier, neighbor stalls under SyncNeighbor); FastForwards
+// counts windows that beat the legacy global m+L bound (barrier) or were
+// enabled by the quiescence floor (neighbor); FusedBarriers and the
+// neighbor-only Stalls/EdgeWait belong to one protocol each and stay zero
+// under the other.
 type ShardProfile struct {
 	Shard         int
 	Windows       uint64        // windows executed (rounds that ran events)
 	Events        uint64        // events fired inside windows
 	EmptyWindows  uint64        // windows that fired nothing
-	FastForwards  uint64        // windows whose horizon beat the legacy global m+L
+	FastForwards  uint64        // windows widened past the neighbor/legacy bound
 	FusedBarriers uint64        // rounds that crossed a single barrier (no pending traffic)
-	Drains        uint64        // mailbox drains performed
-	BarrierWait   time.Duration // wall-clock spent inside barrier crossings
+	Drains        uint64        // mailbox/ring drains performed
+	Stalls        uint64        // neighbor-mode blocked waits entered
+	BarrierWait   time.Duration // wall-clock spent blocked on synchronization
+	// EdgeWait attributes neighbor-mode wait to the in-neighbor whose
+	// published clock bound the horizon at block time, indexed by source
+	// shard id (zero-length under SyncBarrier). It answers "who does this
+	// shard actually wait on" — the signal sparse topologies need.
+	EdgeWait []time.Duration
 }
 
 // EventsPerWindow reports the mean number of events fired per executed
@@ -36,6 +51,13 @@ type GroupProfile struct {
 	Shards []ShardProfile
 }
 
+// EdgeStat is one directed influence edge with its accumulated block time,
+// as ranked by WorstEdges.
+type EdgeStat struct {
+	Src, Dst int
+	Wait     time.Duration
+}
+
 // Profile snapshots the group's per-shard window counters. Call it after
 // Run/RunUntil returns (it reads the shard workers' plain counters, which
 // are quiescent between runs). Counters accumulate across runs; see
@@ -43,17 +65,28 @@ type GroupProfile struct {
 func (g *Group) Profile() GroupProfile {
 	out := GroupProfile{Shards: make([]ShardProfile, len(g.prof))}
 	copy(out.Shards, g.prof)
+	for i := range out.Shards {
+		if ew := g.prof[i].EdgeWait; len(ew) > 0 {
+			out.Shards[i].EdgeWait = append([]time.Duration(nil), ew...)
+		}
+	}
 	return out
 }
 
-// ResetProfile zeroes the accumulated window counters.
+// ResetProfile zeroes the accumulated window counters, per-edge waits
+// included.
 func (g *Group) ResetProfile() {
 	for i := range g.prof {
-		g.prof[i] = ShardProfile{Shard: i}
+		ew := g.prof[i].EdgeWait
+		for j := range ew {
+			ew[j] = 0
+		}
+		g.prof[i] = ShardProfile{Shard: i, EdgeWait: ew}
 	}
 }
 
-// Total folds every shard's counters into one (Shard is -1 in the result).
+// Total folds every shard's counters into one (Shard is -1 in the result;
+// EdgeWait is not folded — edges are per-destination, see WorstEdges).
 func (gp GroupProfile) Total() ShardProfile {
 	t := ShardProfile{Shard: -1}
 	for _, p := range gp.Shards {
@@ -63,29 +96,62 @@ func (gp GroupProfile) Total() ShardProfile {
 		t.FastForwards += p.FastForwards
 		t.FusedBarriers += p.FusedBarriers
 		t.Drains += p.Drains
+		t.Stalls += p.Stalls
 		t.BarrierWait += p.BarrierWait
 	}
 	return t
 }
 
+// WorstEdges ranks the directed edges by accumulated block time, worst
+// first, dropping zero-wait edges. Ties break by (src, dst) so the
+// ranking is deterministic.
+func (gp GroupProfile) WorstEdges() []EdgeStat {
+	var out []EdgeStat
+	for _, p := range gp.Shards {
+		for src, w := range p.EdgeWait {
+			if w > 0 {
+				out = append(out, EdgeStat{Src: src, Dst: p.Shard, Wait: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wait != out[j].Wait {
+			return out[i].Wait > out[j].Wait
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
 // String renders the profile as an aligned table — the `unetbench
-// -simprof` dump.
+// -simprof` dump — followed by the per-edge wait ranking when any edge
+// accumulated block time (neighbor-mode runs).
 func (gp GroupProfile) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-5s %10s %12s %8s %6s %8s %8s %8s %12s %10s\n",
-		"shard", "windows", "events", "ev/win", "empty", "fastfwd", "fused", "drains", "barrier-wait", "wait/win")
+	fmt.Fprintf(&b, "%-5s %10s %12s %8s %6s %8s %8s %8s %8s %12s %10s\n",
+		"shard", "windows", "events", "ev/win", "empty", "fastfwd", "fused", "drains", "stalls", "sync-wait", "wait/win")
 	row := func(label string, p ShardProfile) {
 		perWin := time.Duration(0)
 		if p.Windows > 0 {
 			perWin = p.BarrierWait / time.Duration(p.Windows)
 		}
-		fmt.Fprintf(&b, "%-5s %10d %12d %8.1f %6d %8d %8d %8d %12s %10s\n",
+		fmt.Fprintf(&b, "%-5s %10d %12d %8.1f %6d %8d %8d %8d %8d %12s %10s\n",
 			label, p.Windows, p.Events, p.EventsPerWindow(), p.EmptyWindows,
-			p.FastForwards, p.FusedBarriers, p.Drains, p.BarrierWait.Round(time.Microsecond), perWin)
+			p.FastForwards, p.FusedBarriers, p.Drains, p.Stalls,
+			p.BarrierWait.Round(time.Microsecond), perWin)
 	}
 	for _, p := range gp.Shards {
 		row(fmt.Sprintf("%d", p.Shard), p)
 	}
 	row("total", gp.Total())
+	if edges := gp.WorstEdges(); len(edges) > 0 {
+		b.WriteString("edge waits (src→dst, worst first):\n")
+		for _, e := range edges {
+			fmt.Fprintf(&b, "  %d→%d %12s\n", e.Src, e.Dst, e.Wait.Round(time.Microsecond))
+		}
+	}
 	return b.String()
 }

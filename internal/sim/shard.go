@@ -72,18 +72,32 @@ type Mailbox struct {
 	g     *Group
 	src   int // producing shard, -1 when unknown (pairless registration)
 	dirty atomic.Bool
+	// neighbor marks the mailbox as running under the neighbor-synchronized
+	// protocol, where ring occupancy replaces the dirty-count handshake.
+	// Written by the root goroutine during run() setup, before workers
+	// spawn; read by the producer shard (MarkPending) and the exchange's
+	// Drain to pick the protocol path.
+	neighbor bool
 }
 
 // MarkPending flags the exchange as holding undrained traffic. It must be
 // called by the producing shard (each exchange has exactly one producer)
 // between appending a message and reaching the next window barrier; it is
-// idempotent and costs one atomic load once marked.
+// idempotent and costs one atomic load once marked. Under the neighbor
+// protocol it is a no-op — consumers poll ring occupancy directly.
 func (m *Mailbox) MarkPending() {
+	if m.neighbor {
+		return
+	}
 	if !m.dirty.Load() {
 		m.dirty.Store(true)
 		m.g.dirtyCount.Add(1)
 	}
 }
+
+// Neighbor reports whether the mailbox currently runs under the neighbor
+// protocol. Exchanges use it to pick their Drain path.
+func (m *Mailbox) Neighbor() bool { return m.neighbor }
 
 // pairKey indexes the per-pair lookahead observations.
 type pairKey struct{ src, dst int }
@@ -120,6 +134,26 @@ type Group struct {
 	prof     []ShardProfile
 	aborted  atomic.Bool
 	failure  atomic.Value // string
+
+	// Neighbor-protocol state (see neighbor.go). sync selects the protocol;
+	// the rest is rebuilt by setupNeighbor at the top of each neighbor run,
+	// before any worker goroutine exists. pub/sigs/waiting/gmin/ndone are
+	// the only cross-shard-mutable pieces and are all atomics or
+	// mutex-guarded; the edge sets are immutable during a run.
+	sync     SyncKind
+	pub      []paddedClock   // published per-shard clocks, cache-line padded
+	sigs     []shardSignal   // per-shard wake channels
+	waiting  atomic.Int32    // shards currently blocked in waitNeighbor
+	waitGen  atomic.Uint64   // wait entries; guards quiescentScan vs ABA on waiting
+	gmin     atomic.Int64    // quiescence floor: global min next-event time
+	ndone    atomic.Bool     // neighbor-run termination flag
+	scanMu   sync.Mutex      // serializes quiescentScan
+	inEdges  [][]inEdge      // direct in-edges per shard, ordered by source
+	outEdges [][]outEdge     // producer-side exchange handles per shard
+	outNbrs  [][]int         // distinct out-neighbor shard ids per shard
+	minInLA  []int64         // min in-edge lookahead per shard (floor lift)
+	inSrcs   [][]CrossSource // consumer-side exchanges per shard, registration order
+	inSrcIDs [][]int         // producing shard of each inSrcs entry
 }
 
 // NewShard creates a new shard engine attached to e's group, creating the
@@ -344,9 +378,10 @@ func (g *Group) buildMatrix() {
 // when a drain phase is needed).
 func (g *Group) run(limit time.Duration) time.Duration {
 	n := len(g.shards)
-	if g.hasExchanges() {
+	neighbor := g.sync == SyncNeighbor && g.neighborCapable()
+	if g.hasExchanges() && !neighbor {
 		g.buildMatrix()
-	} else {
+	} else if !g.hasExchanges() {
 		g.la = nil
 	}
 	if g.nextAt == nil || len(g.nextAt) != n {
@@ -360,6 +395,15 @@ func (g *Group) run(limit time.Duration) time.Duration {
 			g.prof[i].Shard = i
 		}
 	}
+	if neighbor {
+		g.setupNeighbor()
+	} else {
+		g.setupBarrier()
+	}
+	worker := g.runShard
+	if neighbor {
+		worker = g.runShardNeighbor
+	}
 	g.barrier = newSpinBarrier(int32(n), g)
 	var wg sync.WaitGroup
 	for id := 1; id < n; id++ {
@@ -367,12 +411,12 @@ func (g *Group) run(limit time.Duration) time.Duration {
 		go func(id int) {
 			defer wg.Done()
 			defer g.abortOnPanic()
-			g.runShard(id, limit)
+			worker(id, limit)
 		}(id)
 	}
 	func() {
 		defer g.abortOnPanic()
-		g.runShard(0, limit)
+		worker(0, limit)
 	}()
 	wg.Wait()
 	if g.aborted.Load() {
@@ -410,6 +454,10 @@ func (g *Group) abortOnPanic() {
 		}
 		if g.barrier != nil {
 			g.barrier.kill()
+		}
+		// Neighbor-mode waiters park on per-shard signals, not the barrier.
+		if g.sigs != nil {
+			g.notifyAll()
 		}
 	}
 }
@@ -590,7 +638,7 @@ func stopFor(limit time.Duration) time.Duration {
 // bounded run: the clock advances to the limit only when events remain
 // beyond it.
 func (e *Engine) alignNow(limit time.Duration) {
-	if limit >= 0 && e.PendingEvents() > 0 && limit > e.now {
+	if limit >= 0 && limit > e.now && e.PendingEvents() > 0 {
 		e.now = limit
 	}
 }

@@ -36,6 +36,12 @@ type Config struct {
 	// each run on its own goroutine under the conservative window protocol
 	// (see internal/sim shard.go). Results are byte-identical to serial.
 	Shards int
+	// Sync selects the sharded synchronization protocol (the zero value is
+	// sim.SyncNeighbor; sim.SyncBarrier selects the PR 6 reference
+	// protocol). Results are byte-identical across both, at every shard
+	// count — that equivalence is what TestGoldenSyncSweep pins. Ignored
+	// for serial layouts.
+	Sync sim.SyncKind
 	// Faults applies a deterministic impairment plan (internal/faults) to
 	// every uplink and downlink and, if SwitchQueueCells is set, bounds the
 	// switch output queues. nil (or an all-zero plan) is the perfect wire —
@@ -101,6 +107,7 @@ func New(cfg Config) *Testbed {
 		for i := range hostEng {
 			hostEng[i] = shardEng[i%k]
 		}
+		e.Group().SetSync(cfg.Sync)
 	}
 	fc := fabric.NewShardedCluster(e, "atm", hostEng, link, cfg.SwitchLatency)
 	m := unet.NewManager(fc)

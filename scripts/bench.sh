@@ -2,9 +2,10 @@
 # bench.sh — the PR-gate performance run.
 #
 # 1. Tier-1: build + full test suite (the calibration gates).
-# 2. Race check on the simulation kernel (incl. shard protocol), the
-#    fabric, the NIC models and the parallel sweep pool, plus the sharded
-#    golden check (byte-identical output at every shard count).
+# 2. Race check on the simulation kernel (incl. both shard sync
+#    protocols), the fabric, the NIC models and the parallel sweep pool,
+#    plus the sharded golden checks (byte-identical output at every shard
+#    count and under both sync protocols).
 # 3. Steady-state allocation gate: the data path must move messages with
 #    zero allocations per round trip (DESIGN.md §10).
 # 4. Fault-injection gates: the seeded loss sweep and chaos soak are
@@ -21,17 +22,20 @@
 #    workload, all
 #    with -benchmem, saved as benchstat-compatible text and summarized
 #    into the output JSON. Every JSON entry records the GOMAXPROCS it ran
-#    at and the machine's CPU count; the sharded storm entries also carry
-#    their shard count and barrier-wait share, so a single-core artifact
-#    can never be misread as a multi-core regression. The storm runs with
-#    UNET_BENCH_OVERSUB=1 so oversubscribed shapes are still recorded
-#    (they skip by default under plain `go test -bench`).
+#    at, the machine's CPU count and its sync protocol ("serial" when no
+#    shard group exists); the sharded storm/serve shapes run as
+#    sub-benchmarks under both sync protocols (sync=neighbor,
+#    sync=barrier) and carry their shard count and sync-wait share, so a
+#    single-core artifact can never be misread as a multi-core
+#    regression. The storm runs with UNET_BENCH_OVERSUB=1 so
+#    oversubscribed shapes are still recorded (they skip by default under
+#    plain `go test -bench`).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR7.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR9.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR9.json}"
 txt="${out%.json}.txt"
 
 echo "== tier-1: go build ./... && go test ./..." >&2
@@ -44,8 +48,8 @@ go test -race ./internal/fabric/...
 go test -race ./internal/nic/...
 GOMAXPROCS=4 go test -race -run 'Golden' ./internal/experiments/
 
-echo "== sharded golden check (byte-identical at every shard count)" >&2
-GOMAXPROCS=4 go test -run 'TestGoldenShardSweep' ./internal/experiments/
+echo "== sharded golden checks (byte-identical at every shard count, both sync protocols)" >&2
+GOMAXPROCS=4 go test -run 'TestGoldenShardSweep|TestGoldenSyncSweep' ./internal/experiments/
 go test -run 'TestSharded' ./internal/testbed/
 
 echo "== steady-state allocation gate (0 allocs/round on the data path)" >&2

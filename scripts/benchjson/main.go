@@ -22,6 +22,7 @@ import (
 type accum struct {
 	runs       int
 	gomaxprocs int
+	sync       string
 	metrics    map[string][]float64
 }
 
@@ -53,6 +54,15 @@ func main() {
 				name, procs = name[:i], n
 			}
 		}
+		// Sharded cluster/serve shapes run as sub-benchmarks per sync
+		// protocol (".../sync=neighbor"); entries without the tag are serial.
+		syncMode := "serial"
+		if i := strings.Index(name, "/sync="); i >= 0 {
+			syncMode = name[i+len("/sync="):]
+			if j := strings.IndexByte(syncMode, '/'); j >= 0 {
+				syncMode = syncMode[:j]
+			}
+		}
 		a := bench[name]
 		if a == nil {
 			a = &accum{metrics: map[string][]float64{}}
@@ -61,6 +71,7 @@ func main() {
 		}
 		a.runs++
 		a.gomaxprocs = procs
+		a.sync = syncMode
 		// f[1] is the iteration count; then (value, unit) pairs follow.
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
@@ -80,6 +91,7 @@ func main() {
 		Runs       int                `json:"runs"`
 		GOMAXPROCS int                `json:"gomaxprocs"`
 		NumCPU     int                `json:"numcpu"`
+		Sync       string             `json:"sync"`
 		Metrics    map[string]float64 `json:"metrics"`
 	}
 	var out []entry
@@ -96,6 +108,7 @@ func main() {
 		out = append(out, entry{
 			Name: name, Runs: a.runs,
 			GOMAXPROCS: a.gomaxprocs, NumCPU: runtime.NumCPU(),
+			Sync:    a.sync,
 			Metrics: m,
 		})
 	}

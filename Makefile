@@ -4,14 +4,14 @@
 # mirrors the GitHub Actions workflow.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 FUZZTIME ?= 10s
 
 # Pinned external linter versions (kept in sync with .github/workflows/ci.yml).
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all build check test race raceshards shardcheck alloccheck serve chaos lint lint-extra fuzz bench ci clean
+.PHONY: all build check test race raceshards shardcheck alloccheck serve chaos clos gossip lint lint-extra fuzz bench ci clean
 
 all: build
 
@@ -65,6 +65,21 @@ chaos:
 	GOMAXPROCS=4 $(GO) test -run 'TestGoldenFaultDeterminism|TestLossRecoveryDelivery' -v ./internal/experiments/
 	$(GO) test -run 'TestSeededLossNthCellGolden|TestDeadPeerFailsInBoundedTime' ./internal/uam/ ./internal/ip/tcp/
 
+# clos is the multi-switch fabric smoke (DESIGN.md §15): the Clos storm
+# goldens must render byte-identically serial vs shards 1/2/4/8 under both
+# sync protocols, and the CLI path across a 64-host two-stage Clos must
+# finish with zero queue drops and zero undelivered cells.
+clos:
+	GOMAXPROCS=4 $(GO) test -run 'TestGoldenTopoSweep' -v ./internal/experiments/
+	$(GO) run ./cmd/unetbench -experiment clos -topo clos2 -racks 8 -perrack 8 -spine 2 -shards 4 -count 4
+
+# gossip is the 1k-endpoint island-overlay smoke: bounded per-island
+# forwarding queues, deterministic failed-neighbor removal under seeded
+# uplink flaps, identical renders serial vs sharded.
+gossip:
+	GOMAXPROCS=4 $(GO) test -run 'TestGossipDeterministic' -v ./internal/experiments/
+	$(GO) run ./cmd/unetbench -experiment gossip -islands 256 -shards 4
+
 # lint runs go vet plus unetlint, the repo's own determinism analyzers
 # (nondeterminism, rawgo, mapiter, costcharge, seedflow, hotpathalloc,
 # barrierstate — see DESIGN.md §9, §13). The analyzers fan out over
@@ -105,9 +120,11 @@ ci: build
 	$(MAKE) alloccheck
 	$(MAKE) serve
 	$(MAKE) chaos
+	$(MAKE) clos
+	$(MAKE) gossip
 
 bench:
 	sh scripts/bench.sh $(BENCH_OUT)
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt BENCH_PR6.json BENCH_PR6.txt BENCH_PR7.json BENCH_PR7.txt BENCH_PR9.json BENCH_PR9.txt
+	rm -f BENCH_PR1.json BENCH_PR1.txt BENCH_PR2.json BENCH_PR2.txt BENCH_PR4.json BENCH_PR4.txt BENCH_PR5.json BENCH_PR5.txt BENCH_PR6.json BENCH_PR6.txt BENCH_PR7.json BENCH_PR7.txt BENCH_PR9.json BENCH_PR9.txt BENCH_PR10.json BENCH_PR10.txt

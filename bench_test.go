@@ -8,6 +8,7 @@ package unet_test
 // network time — the virtual clock makes the runs deterministic.
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"unet/internal/sim"
 	"unet/internal/stats"
 	"unet/internal/testbed"
+	"unet/internal/topo"
 	"unet/internal/uam"
 	"unet/internal/unet"
 )
@@ -434,3 +436,94 @@ func serveBench(b *testing.B, shards int, kind sim.SyncKind) {
 
 func BenchmarkServe_OpenLoop(b *testing.B)         { benchmarkServe(b, 0) }
 func BenchmarkServe_OpenLoopSharded4(b *testing.B) { benchmarkServe(b, 4) }
+
+// --- Multi-switch topologies (internal/topo) ---
+
+// benchClosStorm runs the all-to-all storm over a 64-host 2-stage Clos
+// (8 racks × 8 hosts, 2 spines) once, with topology-aware shard
+// placement, and returns total messages received.
+func benchClosStorm(shards, count int, kind sim.SyncKind) (int, sim.GroupProfile) {
+	tb := testbed.New(testbed.Config{Topology: topo.Clos2(8, 8, 2), Shards: shards, Sync: kind})
+	defer tb.Close()
+	mesh, err := tb.NewMesh(unet.EndpointConfig{SegmentSize: 1 << 20}, 64)
+	if err != nil {
+		panic(err)
+	}
+	res, _ := mesh.Storm(count, 1024)
+	total := 0
+	for _, r := range res {
+		total += r.Received
+	}
+	var prof sim.GroupProfile
+	if g := tb.Eng.Group(); g != nil {
+		prof = g.Profile()
+	}
+	return total, prof
+}
+
+func closStorm(b *testing.B, shards int, kind sim.SyncKind) {
+	b.ReportAllocs()
+	var total int
+	var prof sim.GroupProfile
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		total, prof = benchClosStorm(shards, 4, kind)
+	}
+	wall := time.Since(start)
+	b.ReportMetric(float64(total), "msgs")
+	b.ReportMetric(float64(shards), "shards")
+	if n := len(prof.Shards); n > 0 {
+		t := prof.Total()
+		share := 100 * float64(t.BarrierWait) * float64(b.N) / (float64(wall) * float64(n))
+		b.ReportMetric(share, "%sync-wait")
+		b.ReportMetric(float64(t.Windows)/float64(n), "windows")
+	}
+}
+
+// benchmarkClosStorm measures the 64-host Clos storm at a given shard
+// count; like the single-switch cluster benchmarks, the virtual timeline
+// is identical at every count (TestGoldenTopoSweep asserts so). Sharded
+// shapes run under both sync protocols; sub-benchmark names carry the
+// topology shape so scripts/benchjson records it in the artifact.
+func benchmarkClosStorm(b *testing.B, shards int) {
+	if shards > runtime.NumCPU() && os.Getenv("UNET_BENCH_OVERSUB") == "" {
+		b.Skipf("%d shards on %d CPUs would measure window overhead, not speedup; set UNET_BENCH_OVERSUB=1 to force", shards, runtime.NumCPU())
+	}
+	name := "topo=clos2/hosts=64/switches=10/stages=2"
+	if shards <= 1 {
+		b.Run(name, func(b *testing.B) { closStorm(b, shards, sim.SyncNeighbor) })
+		return
+	}
+	for _, kind := range []sim.SyncKind{sim.SyncNeighbor, sim.SyncBarrier} {
+		kind := kind
+		b.Run(name+"/sync="+kind.String(), func(b *testing.B) { closStorm(b, shards, kind) })
+	}
+}
+
+func BenchmarkClosStorm_Serial(b *testing.B)   { benchmarkClosStorm(b, 0) }
+func BenchmarkClosStorm_Sharded4(b *testing.B) { benchmarkClosStorm(b, 4) }
+func BenchmarkClosStorm_Sharded8(b *testing.B) { benchmarkClosStorm(b, 8) }
+
+// BenchmarkGossip_Scale is the host-count scaling sweep of the island
+// gossip overlay: the same per-island protocol at 256, 512 and 1024
+// islands, reporting simulated gossip events per wall-clock second. The
+// sub-benchmark names carry the topology metadata for the artifact.
+func BenchmarkGossip_Scale(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		cfg := experiments.DefaultGossip(n)
+		spec := topo.Island(n, 1)
+		name := fmt.Sprintf("topo=island/hosts=%d/switches=%d/stages=%d", n, len(spec.Switches), spec.Stages())
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var r experiments.GossipResult
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				r = experiments.Gossip(cfg)
+			}
+			wall := time.Since(start)
+			b.ReportMetric(float64(r.Delivered), "events")
+			b.ReportMetric(float64(r.Delivered)*float64(b.N)/wall.Seconds(), "events/sec")
+			b.ReportMetric(float64(r.Removed), "removed")
+		})
+	}
+}

@@ -19,9 +19,16 @@
 //	                                   # default neighbor protocol
 //	unetbench -experiment serve                      # open-loop serving sweep
 //	unetbench -experiment serve -serveclients 64 -servelogical 16384 -servebursty
+//	unetbench -experiment clos -topo clos2 -racks 8 -perrack 8 -spine 2 -count 4
+//	                                   # all-to-all storm over a 64-host
+//	                                   # 2-stage Clos (multi-hop VCI routes)
+//	unetbench -experiment clos -topo clos3 -racks 4 -perrack 2 -spine 2 -count 4
+//	unetbench -experiment gossip -islands 1024 -shards 8
+//	                                   # 1k-island gossip overlay with flapping
+//	                                   # uplinks and failure detection
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// figloss chaos ablations storm serve
+// figloss chaos ablations storm serve clos gossip
 package main
 
 import (
@@ -47,6 +54,12 @@ func main() {
 		syncMode = flag.String("sync", "neighbor", "sharded synchronization protocol: neighbor or barrier (output is identical either way)")
 		hosts    = flag.Int("hosts", 8, "storm: cluster size")
 		simprof  = flag.Bool("simprof", false, "storm: dump the per-shard window-protocol profile (wall-clock diagnostics)")
+
+		topoKind = flag.String("topo", "clos2", "clos: topology shape (clos2, clos3, ring, island)")
+		racks    = flag.Int("racks", 8, "clos: top-of-rack switches (pods×2 for clos3; islands for ring/island)")
+		perRack  = flag.Int("perrack", 8, "clos: hosts per rack")
+		spine    = flag.Int("spine", 2, "clos: spine (clos2) or core (clos3) switches")
+		islands  = flag.Int("islands", 1024, "gossip: island switches (one host each)")
 
 		serveClients  = flag.Int("serveclients", 0, "serve: load-generating hosts (0 = default 6)")
 		serveServers  = flag.Int("serveservers", 0, "serve: serving hosts (0 = default 2)")
@@ -127,6 +140,40 @@ func main() {
 					share, len(prof.Shards), wall.Round(time.Microsecond), syncKind)
 			}
 		},
+		"clos": func() {
+			n := *shards
+			if n < 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			// The storm is all-to-all: scale the per-host count down from the
+			// pair-experiment default so the quick run stays quick.
+			msgs := *count
+			if msgs > 8 {
+				msgs = 8
+			}
+			t0 := time.Now()
+			report, prof := experiments.TopoStorm(*topoKind, *racks, *perRack, *spine, n, msgs)
+			wall := time.Since(t0)
+			fmt.Print(report)
+			if *simprof && len(prof.Shards) > 0 {
+				fmt.Printf("simprof (sync=%v, wall %v):\n%s", syncKind, wall.Round(time.Microsecond), prof)
+			}
+		},
+		"gossip": func() {
+			n := *shards
+			if n < 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			cfg := experiments.DefaultGossip(*islands)
+			cfg.Shards = n
+			cfg.Sync = syncKind
+			t0 := time.Now()
+			res := experiments.Gossip(cfg)
+			wall := time.Since(t0)
+			fmt.Print(res.Render())
+			fmt.Printf("  [diag] events=%d wall=%v events/sec=%.0f\n",
+				res.Delivered, wall.Round(time.Microsecond), float64(res.Delivered)/wall.Seconds())
+		},
 		"serve": func() {
 			loads := make([]float64, 0, 8)
 			for _, s := range strings.Split(*serveLoads, ",") {
@@ -160,7 +207,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "figloss", "chaos", "storm", "serve"}
+	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "figloss", "chaos", "storm", "serve", "clos", "gossip"}
 
 	ids := order
 	if *expFlag != "all" {

@@ -13,6 +13,15 @@ import (
 // SPARCstation-10s on an ASX-200). NIC models attach afterwards: each host
 // sends on its Uplink and receives through the sink registered with
 // SetHostSink.
+//
+// Cluster is deliberately single-switch: every host occupies exactly one
+// port of the one switch, so host indices and switch ports coincide and a
+// route is always a single table entry. That invariant is enforced at
+// construction (the switch's port count must equal the host count) and in
+// every host-indexed accessor. Fabrics with more than one switch — Clos
+// stages, rings, island overlays — are built by internal/topo, which
+// compiles a topology spec onto the same Link/Switch primitives and
+// installs multi-hop routes; Cluster never grows a second switch.
 type Cluster struct {
 	Engine    *sim.Engine
 	Switch    *Switch
@@ -100,6 +109,9 @@ func NewShardedCluster(root *sim.Engine, name string, hostEng []*sim.Engine, lp 
 		}
 	}
 	c.Switch = NewSwitchWithLinks(root, name+".sw", switchLatency, out)
+	if c.Switch.Ports() != n {
+		panic(fmt.Sprintf("fabric: cluster %s wired %d switch ports for %d hosts; Cluster is strictly single-switch with one port per host — multi-switch fabrics are built by internal/topo", name, c.Switch.Ports(), n))
+	}
 	for i := 0; i < n; i++ {
 		uname := fmt.Sprintf("%s.up%d", name, i)
 		if c.hostEng[i] != root {
@@ -111,26 +123,53 @@ func NewShardedCluster(root *sim.Engine, name string, hostEng []*sim.Engine, lp 
 	return c
 }
 
+// checkHost enforces the single-switch invariant at the accessor surface:
+// a host index is a port of the one switch, nothing else.
+func (c *Cluster) checkHost(host int, op string) {
+	if host < 0 || host >= len(c.uplinks) {
+		panic(fmt.Sprintf("fabric: %s host %d out of range [0,%d); Cluster is strictly single-switch with one port per host — multi-switch fabrics are built by internal/topo", op, host, len(c.uplinks)))
+	}
+}
+
 // HostEngine returns the shard engine host's NIC and processes must run on.
-func (c *Cluster) HostEngine(host int) *sim.Engine { return c.hostEng[host] }
+func (c *Cluster) HostEngine(host int) *sim.Engine {
+	c.checkHost(host, "HostEngine")
+	return c.hostEng[host]
+}
 
 // Size returns the number of host ports.
 func (c *Cluster) Size() int { return len(c.uplinks) }
 
 // Uplink returns host's transmit link into the switch.
-func (c *Cluster) Uplink(host int) *Link { return c.uplinks[host] }
+func (c *Cluster) Uplink(host int) *Link {
+	c.checkHost(host, "Uplink")
+	return c.uplinks[host]
+}
 
 // Downlink returns the switch output link toward host (for loss injection).
-func (c *Cluster) Downlink(host int) *Link { return c.Switch.OutputLink(host) }
+func (c *Cluster) Downlink(host int) *Link {
+	c.checkHost(host, "Downlink")
+	return c.Switch.OutputLink(host)
+}
 
 // SetHostSink registers the receive sink (a NIC input FIFO) for host.
-func (c *Cluster) SetHostSink(host int, s CellSink) { c.hostSinks[host] = s }
+func (c *Cluster) SetHostSink(host int, s CellSink) {
+	c.checkHost(host, "SetHostSink")
+	c.hostSinks[host] = s
+}
 
 // Route programs the switch to deliver vci, arriving from host `from`, to
 // host `to`. Per-input-port routes extend protection across the network
-// (§3.2).
+// (§3.2). On the single switch the host indices are the switch ports —
+// the one-entry special case of the multi-hop route walk internal/topo
+// performs.
 func (c *Cluster) Route(from int, vci atm.VCI, to int) error {
 	return c.Switch.Route(from, vci, to)
+}
+
+// Unroute removes a provisioned route again (channel tear-down).
+func (c *Cluster) Unroute(from int, vci atm.VCI) {
+	c.Switch.Unroute(from, vci)
 }
 
 // UndeliveredCells counts cells that reached a port with no attached NIC.

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -256,4 +257,25 @@ func TestDefaultCellTimeMatchesPeakBandwidth(t *testing.T) {
 	if bw < 15.0 || bw > 15.4 {
 		t.Fatalf("peak payload bandwidth = %.2f MB/s, want ~15.2", bw)
 	}
+}
+
+func TestClusterSingleSwitchInvariant(t *testing.T) {
+	// The cluster is strictly single-switch: one port per host, enforced
+	// with a message that points multi-switch builders at internal/topo.
+	e := sim.New(1)
+	cl := NewCluster(e, "cl", 2, LinkParams{CellTime: 1 * us}, 0)
+	if cl.Switch.Ports() != cl.Size() {
+		t.Fatalf("switch has %d ports for %d hosts", cl.Switch.Ports(), cl.Size())
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-range host accessor did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "single-switch") || !strings.Contains(msg, "internal/topo") {
+			t.Fatalf("panic %v does not state the single-switch invariant", r)
+		}
+	}()
+	cl.Uplink(2) // beyond the switch's port range
 }

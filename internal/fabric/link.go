@@ -204,6 +204,11 @@ func NewCrossLink(src, dst *sim.Engine, name string, p LinkParams, sink CellSink
 // shard.
 func (l *Link) Engine() *sim.Engine { return l.e }
 
+// Name returns the link's wiring name. Names are fixed by the topology,
+// not the shard layout, which is what lets fault plans key their per-link
+// random streams on them and stay byte-identical at every shard count.
+func (l *Link) Name() string { return l.name }
+
 // crossExchange moves one cross-shard link's ring traffic into the receive
 // half. It always runs on the destination shard's worker goroutine; the
 // synchronization that orders it after the transmitter's pushes depends on

@@ -1,0 +1,36 @@
+package fabric
+
+import (
+	"unet/internal/atm"
+	"unet/internal/sim"
+)
+
+// Network is the fabric surface the connection manager and the NIC attach
+// path program: a set of host attachment points (indexed 0..Size-1) plus
+// VCI route provisioning between them. Two implementations exist — the
+// single-switch Cluster in this package (the paper's testbed) and the
+// topo-compiled multi-switch Fabric (internal/topo), whose Route installs
+// a per-stage entry at every switch along the computed path. Code written
+// against Network (unet.Manager, nic.Attach, the testbed fixtures) runs
+// unchanged on either.
+type Network interface {
+	// Size returns the number of host attachment points.
+	Size() int
+	// Uplink returns host's transmit link into the fabric.
+	Uplink(host int) *Link
+	// SetHostSink registers the receive sink (a NIC input FIFO) for host.
+	SetHostSink(host int, s CellSink)
+	// HostEngine returns the shard engine the host's NIC and processes
+	// must run on.
+	HostEngine(host int) *sim.Engine
+	// Downlink returns the last-hop link toward host (for loss and fault
+	// injection at the receive side).
+	Downlink(host int) *Link
+	// Route provisions vci, arriving from host `from`, to be delivered to
+	// host `to` — at every forwarding stage between them.
+	Route(from int, vci atm.VCI, to int) error
+	// Unroute removes the channel's per-stage entries again.
+	Unroute(from int, vci atm.VCI)
+}
+
+var _ Network = (*Cluster)(nil)

@@ -160,11 +160,22 @@ func (s *Switch) Route(in int, vci atm.VCI, port int) error {
 // Unroute removes a VCI route (channel tear-down).
 func (s *Switch) Unroute(in int, vci atm.VCI) { delete(s.routes, routeKey{in: in, vci: vci}) }
 
+// Lookup reports the output port installed for (in, vci), if any. The
+// multi-hop tear-down walk in internal/topo uses it to follow a route's
+// own table entries from stage to stage.
+func (s *Switch) Lookup(in int, vci atm.VCI) (int, bool) {
+	port, ok := s.routes[routeKey{in: in, vci: vci}]
+	return port, ok
+}
+
 // UnknownVCICells reports cells dropped for lack of a route.
 func (s *Switch) UnknownVCICells() uint64 { return s.unknown }
 
 // OutputLink exposes a port's output link, e.g. for loss injection.
 func (s *Switch) OutputLink(port int) *Link { return s.out[port] }
+
+// Ports returns the switch's port count.
+func (s *Switch) Ports() int { return len(s.out) }
 
 // portSink is the receive side of one input port. It implements TrainSink
 // so the uplink can hand over whole cell trains.

@@ -100,7 +100,7 @@ func runCostCharge(pass *ProgramPass) {
 			if spends[n.ID] && hasCellParam(fn) {
 				pass.Reportf(n.Decl.Name.Pos(), "fault-injector method %s judges cells but spends virtual time (directly or transitively); impairments must reshape the delivery schedule, never stall the transmitter", n.Decl.Name.Name)
 			}
-		case "nic", "fabric":
+		case "nic", "fabric", "topo":
 			if n.Decl.Name.IsExported() && !charges[n.ID] && hasCellParam(fn) {
 				pass.Reportf(n.Decl.Name.Pos(), "exported fast-path method %s moves cells but never charges a virtual-time cost (no cursor arithmetic, sleep, or cost-parameter reference, directly or transitively)", n.Decl.Name.Name)
 			}

@@ -11,6 +11,7 @@ import "strings"
 var simScope = map[string]bool{
 	"sim":         true,
 	"fabric":      true,
+	"topo":        true,
 	"faults":      true,
 	"nic":         true,
 	"atm":         true,

@@ -1,0 +1,12 @@
+package topo
+
+// compileDeclared builds the same table by walking the declared name
+// slice and using the map only to resolve names — the order is the
+// spec's, and the compile is deterministic.
+func compileDeclared(names []string, idx map[string]int, vci int) []entry {
+	var table []entry
+	for _, name := range names {
+		table = append(table, entry{in: 0, vci: vci, out: idx[name]})
+	}
+	return table
+}

@@ -1,0 +1,13 @@
+// Package topo mirrors the topology compiler's tie-breaking discipline:
+// equal-cost path choices must be pure functions of the declared spec,
+// never of entropy — two compiles of the same spec have to wire identical
+// fabrics or the goldens break.
+package topo
+
+import "math/rand"
+
+// pickSpineRandom breaks an equal-cost spine tie with the process-global
+// RNG: the same spec would route differently on every run.
+func pickSpineRandom(spines []int) int {
+	return spines[rand.Intn(len(spines))] // want `global rand\.Intn is process-seeded`
+}

@@ -1,0 +1,20 @@
+package topo
+
+type trunk struct{ a, b int }
+
+// pickSpineDeclared breaks the equal-cost tie by declared adjacency
+// order: the first spine in the trunk declaration list wins — a pure
+// function of the spec, byte-identical on every compile.
+func pickSpineDeclared(spines []int) int {
+	return spines[0]
+}
+
+// walkDeclared visits trunks strictly in declared slice order, the
+// compile discipline the real package follows for hosts, switches and
+// trunks alike.
+func walkDeclared(trunks []trunk) (sum int) {
+	for _, t := range trunks {
+		sum += t.a + t.b
+	}
+	return sum
+}

@@ -141,11 +141,12 @@ func New(e *sim.Engine, host *unet.Host, params Params, uplink *fabric.Link) *De
 	return d
 }
 
-// Attach wires a device of the given parameters to host and switch port:
-// it creates the device, registers it as the port's cell sink and the
-// host's device, records the host with the manager, and starts the
+// Attach wires a device of the given parameters to a fabric attachment
+// point (a single-switch cluster port or a topo-compiled fabric's host
+// index): it creates the device, registers it as the host's cell sink and
+// the host's device, records the host with the manager, and starts the
 // on-board processor.
-func Attach(h *unet.Host, cl *fabric.Cluster, m *unet.Manager, port int, params Params) *Device {
+func Attach(h *unet.Host, cl fabric.Network, m *unet.Manager, port int, params Params) *Device {
 	d := New(h.Eng, h, params, cl.Uplink(port))
 	cl.SetHostSink(port, d)
 	h.SetDevice(d)

@@ -13,6 +13,7 @@ import (
 	"unet/internal/faults"
 	"unet/internal/nic"
 	"unet/internal/sim"
+	"unet/internal/topo"
 	"unet/internal/unet"
 )
 
@@ -53,12 +54,27 @@ type Config struct {
 	// exists only for differential tests and microbenchmarks. Shards inherit
 	// the root engine's choice.
 	Scheduler sim.SchedulerKind
+	// Topology, when set, compiles a declarative multi-switch fabric
+	// (internal/topo) instead of the single-switch cluster: Hosts is taken
+	// from the spec, shard placement is topology-aware (each top-of-rack
+	// switch with its hosts on one shard, higher stages on the root
+	// engine), and routes become multi-hop. Everything else — NIC model,
+	// manager, fault plans, sync protocol — applies unchanged.
+	Topology *topo.Spec
 }
 
 // Testbed is an assembled cluster.
 type Testbed struct {
-	Eng     *sim.Engine
-	Fabric  *fabric.Cluster
+	Eng *sim.Engine
+	// Net is the fabric the hosts attach to: *fabric.Cluster for the
+	// classic single-switch testbed, *topo.Fabric when Config.Topology is
+	// set. Code that only needs uplinks, downlinks and routes programs
+	// against this.
+	Net fabric.Network
+	// Fabric is the single-switch cluster (nil when a Topology is set).
+	Fabric *fabric.Cluster
+	// Topo is the compiled multi-switch fabric (nil without a Topology).
+	Topo    *topo.Fabric
 	Manager *unet.Manager
 	Hosts   []*unet.Host
 	Devices []*nic.Device
@@ -95,26 +111,68 @@ func New(cfg Config) *Testbed {
 	}
 
 	e := sim.NewWithScheduler(cfg.Seed, cfg.Scheduler)
-	hostEng := make([]*sim.Engine, cfg.Hosts)
-	if k := cfg.Shards; k > 1 {
-		if k > cfg.Hosts {
-			k = cfg.Hosts
+	tb := &Testbed{Eng: e}
+	if spec := cfg.Topology; spec != nil {
+		cfg.Hosts = len(spec.Hosts)
+		if cfg.SwitchLatency != fabric.DefaultSwitchLatency && spec.SwitchLatency == 0 {
+			spec.SwitchLatency = cfg.SwitchLatency
 		}
-		shardEng := make([]*sim.Engine, k)
-		for j := 0; j < k; j++ {
-			shardEng[j] = e.NewShard(cfg.Seed + int64(j) + 1)
+		hostEng := make([]*sim.Engine, len(spec.Hosts))
+		swEng := make([]*sim.Engine, len(spec.Switches))
+		if k := cfg.Shards; k > 1 {
+			// One shard can hold several racks but never a fraction of one:
+			// cap the shard count at the number of stage-0 switches.
+			tors := 0
+			for j := range spec.Switches {
+				if spec.Switches[j].Stage == 0 {
+					tors++
+				}
+			}
+			if k > tors {
+				k = tors
+			}
+			hostShard, swShard := topo.Place(spec, k)
+			shardEng := make([]*sim.Engine, k)
+			for j := 0; j < k; j++ {
+				shardEng[j] = e.NewShard(cfg.Seed + int64(j) + 1)
+			}
+			for i, s := range hostShard {
+				if s >= 0 {
+					hostEng[i] = shardEng[s]
+				}
+			}
+			for i, s := range swShard {
+				if s >= 0 {
+					swEng[i] = shardEng[s]
+				}
+			}
+			e.Group().SetSync(cfg.Sync)
 		}
-		for i := range hostEng {
-			hostEng[i] = shardEng[i%k]
+		tb.Topo = topo.MustCompile(e, spec, hostEng, swEng)
+		tb.Net = tb.Topo
+	} else {
+		hostEng := make([]*sim.Engine, cfg.Hosts)
+		if k := cfg.Shards; k > 1 {
+			if k > cfg.Hosts {
+				k = cfg.Hosts
+			}
+			shardEng := make([]*sim.Engine, k)
+			for j := 0; j < k; j++ {
+				shardEng[j] = e.NewShard(cfg.Seed + int64(j) + 1)
+			}
+			for i := range hostEng {
+				hostEng[i] = shardEng[i%k]
+			}
+			e.Group().SetSync(cfg.Sync)
 		}
-		e.Group().SetSync(cfg.Sync)
+		tb.Fabric = fabric.NewShardedCluster(e, "atm", hostEng, link, cfg.SwitchLatency)
+		tb.Net = tb.Fabric
 	}
-	fc := fabric.NewShardedCluster(e, "atm", hostEng, link, cfg.SwitchLatency)
-	m := unet.NewManager(fc)
-	tb := &Testbed{Eng: e, Fabric: fc, Manager: m}
+	m := unet.NewManager(tb.Net)
+	tb.Manager = m
 	for i := 0; i < cfg.Hosts; i++ {
-		h := unet.NewHost(fc.HostEngine(i), fmt.Sprintf("host%d", i), node)
-		d := nic.Attach(h, fc, m, i, nicp)
+		h := unet.NewHost(tb.Net.HostEngine(i), fmt.Sprintf("host%d", i), node)
+		d := nic.Attach(h, tb.Net, m, i, nicp)
 		tb.Hosts = append(tb.Hosts, h)
 		tb.Devices = append(tb.Devices, d)
 	}
@@ -123,19 +181,24 @@ func New(cfg Config) *Testbed {
 		tb.UpFaults = make([]*faults.Chain, cfg.Hosts)
 		tb.DownFaults = make([]*faults.Chain, cfg.Hosts)
 		for i := 0; i < cfg.Hosts; i++ {
-			// Per-link streams are keyed by the fixed link names, so the fault
-			// pattern a host sees does not depend on the shard layout.
-			if ch := pl.Build(fmt.Sprintf("atm.up%d", i)); ch != nil {
+			// Per-link streams are keyed by the fixed link names ("atm.up0",
+			// "clos2.leaf1.port3", ...), so the fault pattern a host sees
+			// depends on the topology, never on the shard layout.
+			if ch := pl.Build(tb.Net.Uplink(i).Name()); ch != nil {
 				tb.UpFaults[i] = ch
-				fc.Uplink(i).SetInjector(ch)
+				tb.Net.Uplink(i).SetInjector(ch)
 			}
-			if ch := pl.Build(fmt.Sprintf("atm.sw.port%d", i)); ch != nil {
+			if ch := pl.Build(tb.Net.Downlink(i).Name()); ch != nil {
 				tb.DownFaults[i] = ch
-				fc.Downlink(i).SetInjector(ch)
+				tb.Net.Downlink(i).SetInjector(ch)
 			}
 		}
 		if pl.SwitchQueueCells > 0 {
-			fc.Switch.SetOutputQueueCells(pl.SwitchQueueCells)
+			if tb.Fabric != nil {
+				tb.Fabric.Switch.SetOutputQueueCells(pl.SwitchQueueCells)
+			} else {
+				tb.Topo.SetOutputQueueCells(pl.SwitchQueueCells)
+			}
 		}
 	}
 	return tb
@@ -177,7 +240,7 @@ func (tb *Testbed) TotalSteps() uint64 {
 	total := tb.Eng.Steps()
 	seen := map[*sim.Engine]bool{tb.Eng: true}
 	for i := range tb.Hosts {
-		if e := tb.Fabric.HostEngine(i); !seen[e] {
+		if e := tb.Net.HostEngine(i); !seen[e] {
 			seen[e] = true
 			total += e.Steps()
 		}

@@ -1,0 +1,44 @@
+package topo
+
+// Place computes the topology-aware shard assignment for k shards:
+// hostShard[i] and swShard[j] are shard indices in [0, k), or -1 for the
+// root engine. The rule is locality-first — every stage-0 (top-of-rack)
+// switch lands on the same shard as all of its hosts, assigned in
+// contiguous declared-order blocks, while stage>0 switches run on the
+// root engine. Host↔ToR links then stay shard-local (dense traffic, no
+// synchronization), and only the sparse trunk edges cross shards — edges
+// whose DefaultTrunkPropagation-wide latency becomes the pair lookahead
+// that keeps the conservative windows wide.
+//
+// With k <= 1 everything is rooted (serial execution).
+func Place(spec *Spec, k int) (hostShard, swShard []int) {
+	hostShard = make([]int, len(spec.Hosts))
+	swShard = make([]int, len(spec.Switches))
+	for j := range swShard {
+		swShard[j] = -1
+	}
+	if k <= 1 {
+		for i := range hostShard {
+			hostShard[i] = -1
+		}
+		return hostShard, swShard
+	}
+	// Contiguous blocks over the stage-0 switches in declared order: ToR r
+	// of nToR goes to shard r*k/nToR, so shard populations differ by at
+	// most one rack.
+	var tors []int
+	swIdx := make(map[string]int, len(spec.Switches))
+	for j := range spec.Switches {
+		swIdx[spec.Switches[j].Name] = j
+		if spec.Switches[j].Stage == 0 {
+			tors = append(tors, j)
+		}
+	}
+	for r, j := range tors {
+		swShard[j] = r * k / len(tors)
+	}
+	for i := range spec.Hosts {
+		hostShard[i] = swShard[swIdx[spec.Hosts[i].Switch]]
+	}
+	return hostShard, swShard
+}

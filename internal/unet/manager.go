@@ -12,9 +12,11 @@ import (
 // application in determining the correct tag to use": it allocates VCI
 // pairs, programs switch routes, performs the authorization checks, and
 // registers the tags with each host's U-Net device. One Manager serves a
-// cluster.
+// fabric — the single-switch cluster or a topo-compiled multi-switch
+// fabric, whose Route walks the path and installs a per-stage entry at
+// every switch between the two hosts.
 type Manager struct {
-	cluster *fabric.Cluster
+	cluster fabric.Network
 	ports   map[*Host]int
 	nextVCI atm.VCI
 }
@@ -22,8 +24,8 @@ type Manager struct {
 // firstUserVCI skips the VCIs reserved by ATM signalling conventions.
 const firstUserVCI atm.VCI = 32
 
-// NewManager creates the connection-management service for a cluster.
-func NewManager(c *fabric.Cluster) *Manager {
+// NewManager creates the connection-management service for a fabric.
+func NewManager(c fabric.Network) *Manager {
 	return &Manager{cluster: c, ports: make(map[*Host]int), nextVCI: firstUserVCI}
 }
 
@@ -97,8 +99,8 @@ func (m *Manager) Disconnect(p *sim.Proc, ch *Channel) {
 	ch.B.closeChannel(ch.ChanB)
 	portA, _ := m.ports[ch.A.host]
 	portB, _ := m.ports[ch.B.host]
-	m.cluster.Switch.Unroute(portA, ch.AtoB)
-	m.cluster.Switch.Unroute(portB, ch.BtoA)
+	m.cluster.Unroute(portA, ch.AtoB)
+	m.cluster.Unroute(portB, ch.BtoA)
 }
 
 func (m *Manager) allocVCI() atm.VCI {

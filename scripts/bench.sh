@@ -15,27 +15,33 @@
 #    shard-identity checks on the open-loop serve workload, the wheel
 #    edge-case suite and the scheduler steady-state allocation gate
 #    (DESIGN.md §12).
-# 6. Microbenchmarks (engine, scheduler heap-vs-wheel at 1k/100k/1M
+# 6. Multi-switch fabric gates (DESIGN.md §15): the Clos storm goldens
+#    render byte-identically serial vs shards 1/2/4/8 under both sync
+#    protocols, and the 1k-endpoint island gossip removes failed
+#    neighbors deterministically at every shard count.
+# 7. Microbenchmarks (engine, scheduler heap-vs-wheel at 1k/100k/1M
 #    pending, fabric), the zero-alloc echo/UAM round trips, the
 #    end-to-end Figure 4 sweep, the goodput-under-loss recovery points,
-#    the serial-vs-sharded 8-host cluster storm and the open-loop serve
-#    workload, all
+#    the serial-vs-sharded 8-host cluster storm, the 64-host Clos storm,
+#    the gossip host-count scaling sweep (256/512/1024 endpoints) and the
+#    open-loop serve workload, all
 #    with -benchmem, saved as benchstat-compatible text and summarized
 #    into the output JSON. Every JSON entry records the GOMAXPROCS it ran
 #    at, the machine's CPU count and its sync protocol ("serial" when no
 #    shard group exists); the sharded storm/serve shapes run as
 #    sub-benchmarks under both sync protocols (sync=neighbor,
-#    sync=barrier) and carry their shard count and sync-wait share, so a
-#    single-core artifact can never be misread as a multi-core
-#    regression. The storm runs with UNET_BENCH_OVERSUB=1 so
+#    sync=barrier) and carry their shard count and sync-wait share, and
+#    topology shapes tag their topo kind, host/switch count and stage
+#    count, so a single-core artifact can never be misread as a
+#    multi-core regression. The storm runs with UNET_BENCH_OVERSUB=1 so
 #    oversubscribed shapes are still recorded (they skip by default under
 #    plain `go test -bench`).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR9.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR10.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 txt="${out%.json}.txt"
 
 echo "== tier-1: go build ./... && go test ./..." >&2
@@ -63,6 +69,10 @@ echo "== scheduler + serving gates (heap/wheel differential, wheel edges, knee)"
 go test -run 'TestWheel|TestAfterZero|TestSchedulerDifferentialFiringOrder|TestSchedulerSteadyStateAllocs' ./internal/sim/
 go test -run 'TestServe' ./internal/experiments/
 
+echo "== multi-switch fabric gates (Clos goldens + island gossip determinism)" >&2
+GOMAXPROCS=4 go test -run 'TestGoldenTopoSweep|TestGossipDeterministic' ./internal/experiments/
+go test -run 'Test' ./internal/topo/
+
 echo "== benchmarks (benchstat-compatible: $txt)" >&2
 go test -run '^$' -bench 'BenchmarkEngine_|BenchmarkLink_|BenchmarkSwitch_' \
 	-benchmem -benchtime 200000x -count 3 \
@@ -76,6 +86,8 @@ go test -run '^$' -bench 'BenchmarkEcho|BenchmarkUAMRoundTrip' \
 go test -run '^$' -bench 'BenchmarkFig4_Bandwidth' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 go test -run '^$' -bench 'BenchmarkFigLoss_Recovery' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 UNET_BENCH_OVERSUB=1 go test -run '^$' -bench 'BenchmarkCluster_Sharded' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
+UNET_BENCH_OVERSUB=1 go test -run '^$' -bench 'BenchmarkClosStorm_' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
+UNET_BENCH_OVERSUB=1 go test -run '^$' -bench 'BenchmarkGossip_Scale' -benchmem -benchtime 1x -count 3 . | tee -a "$txt"
 UNET_BENCH_OVERSUB=1 go test -run '^$' -bench 'BenchmarkServe_' -benchmem -benchtime 3x -count 3 . | tee -a "$txt"
 
 echo "== summarizing into $out" >&2

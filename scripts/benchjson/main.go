@@ -23,7 +23,31 @@ type accum struct {
 	runs       int
 	gomaxprocs int
 	sync       string
+	topo       string
+	hosts      int
+	switches   int
+	stages     int
 	metrics    map[string][]float64
+}
+
+// tag extracts the value of a "key=value" sub-benchmark path segment
+// ("BenchmarkX/topo=clos2/hosts=64/..."), or "" when absent.
+func tag(name, key string) string {
+	marker := "/" + key + "="
+	i := strings.Index(name, marker)
+	if i < 0 {
+		return ""
+	}
+	v := name[i+len(marker):]
+	if j := strings.IndexByte(v, '/'); j >= 0 {
+		v = v[:j]
+	}
+	return v
+}
+
+func intTag(name, key string) int {
+	n, _ := strconv.Atoi(tag(name, key))
+	return n
 }
 
 func main() {
@@ -57,11 +81,8 @@ func main() {
 		// Sharded cluster/serve shapes run as sub-benchmarks per sync
 		// protocol (".../sync=neighbor"); entries without the tag are serial.
 		syncMode := "serial"
-		if i := strings.Index(name, "/sync="); i >= 0 {
-			syncMode = name[i+len("/sync="):]
-			if j := strings.IndexByte(syncMode, '/'); j >= 0 {
-				syncMode = syncMode[:j]
-			}
+		if s := tag(name, "sync"); s != "" {
+			syncMode = s
 		}
 		a := bench[name]
 		if a == nil {
@@ -72,6 +93,13 @@ func main() {
 		a.runs++
 		a.gomaxprocs = procs
 		a.sync = syncMode
+		// Topology benchmarks tag their sub-benchmark names with the
+		// compiled fabric's shape; entries without the tags are the
+		// single-switch cluster.
+		a.topo = tag(name, "topo")
+		a.hosts = intTag(name, "hosts")
+		a.switches = intTag(name, "switches")
+		a.stages = intTag(name, "stages")
 		// f[1] is the iteration count; then (value, unit) pairs follow.
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
@@ -87,12 +115,18 @@ func main() {
 	}
 
 	type entry struct {
-		Name       string             `json:"name"`
-		Runs       int                `json:"runs"`
-		GOMAXPROCS int                `json:"gomaxprocs"`
-		NumCPU     int                `json:"numcpu"`
-		Sync       string             `json:"sync"`
-		Metrics    map[string]float64 `json:"metrics"`
+		Name       string `json:"name"`
+		Runs       int    `json:"runs"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		NumCPU     int    `json:"numcpu"`
+		Sync       string `json:"sync"`
+		// Topology metadata, present on multi-switch fabric benchmarks:
+		// the generated shape and its size (internal/topo).
+		Topo     string             `json:"topo,omitempty"`
+		Hosts    int                `json:"hosts,omitempty"`
+		Switches int                `json:"switches,omitempty"`
+		Stages   int                `json:"stages,omitempty"`
+		Metrics  map[string]float64 `json:"metrics"`
 	}
 	var out []entry
 	for _, name := range order {
@@ -108,7 +142,8 @@ func main() {
 		out = append(out, entry{
 			Name: name, Runs: a.runs,
 			GOMAXPROCS: a.gomaxprocs, NumCPU: runtime.NumCPU(),
-			Sync:    a.sync,
+			Sync: a.sync,
+			Topo: a.topo, Hosts: a.hosts, Switches: a.switches, Stages: a.stages,
 			Metrics: m,
 		})
 	}
